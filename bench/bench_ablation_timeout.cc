@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: sensitivity to the atomicity-timeout preset. Section 4.1
+ * notes "the exact timeout value is a free parameter that may be
+ * changed without affecting correctness"; this bench quantifies the
+ * performance trade: a short timeout revokes atomic sections eagerly
+ * (more buffering), a long one lets a pending message block the
+ * network interface longer.
+ *
+ * Workload: synth-100 multiprogrammed with null at 1% skew (the
+ * handler occasionally holds the interface while replying).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+int
+main()
+{
+    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
+    const Cycle timeouts[] = {250, 500, 1000, 2000, 4000, 16000,
+                              64000};
+
+    std::printf("Ablation: atomicity-timeout preset vs buffering and "
+                "runtime (synth-100 + null, 1%% skew)\n");
+    TablePrinter t({"timeout", "%buffered", "timeouts", "runtime"},
+                   {8, 10, 9, 12});
+    t.printHeader();
+
+    for (Cycle preset : timeouts) {
+        apps::SynthAppConfig scfg;
+        scfg.n = 100;
+        scfg.groups = 30;
+        scfg.tBetween = 400;
+        // A long handler stall holds the NI in an atomic section, so
+        // short presets revoke (buffer) while long ones wait it out.
+        scfg.handlerStall = 1500;
+        AppFactory factory = [scfg](unsigned nodes, std::uint64_t seed) {
+            apps::SynthAppConfig c = scfg;
+            c.seed = seed;
+            return apps::makeSynthApp(nodes, c);
+        };
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 4;
+        mcfg.ni.atomicityTimeout = preset;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = 0.01;
+        RunStats r = runTrials(mcfg, factory, /*with_null=*/true,
+                               /*gang=*/true, gcfg, trials);
+        t.printRow({TablePrinter::num(static_cast<double>(preset)),
+                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                                : "STUCK",
+                    TablePrinter::num(r.atomicityTimeouts),
+                    TablePrinter::num(
+                        static_cast<double>(r.runtime))});
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: the value of two-case delivery's direct fast case.
+ *
+ * Compares each workload's standalone runtime under (a) two-case
+ * delivery and (b) an always-buffered organization in which every
+ * message takes the software-buffered path (the SUNMOS-style design
+ * Section 2 contrasts against). The gap shows what the direct path
+ * buys when the fast case is the common case.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+int
+main()
+{
+    Workloads wl;
+    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+
+    std::printf("Ablation: two-case delivery vs always-buffered "
+                "(standalone, 8 nodes)\n");
+    TablePrinter t({"App", "two-case", "always-buffered", "slowdown",
+                    "%buffered(a/b)"},
+                   {8, 12, 15, 9, 14});
+    t.printHeader();
+
+    glaze::GangConfig unused;
+    for (const auto &name : Workloads::names()) {
+        glaze::MachineConfig a;
+        a.nodes = 8;
+        RunStats ra = runTrials(a, wl.factory(name), false, false,
+                                unused, 1);
+        glaze::MachineConfig b = a;
+        b.alwaysBuffered = true;
+        b.framesPerNode = 256; // buffered mode needs real buffer room
+        RunStats rb = runTrials(b, wl.factory(name), false, false,
+                                unused, 1);
+        if (!ra.completed || !rb.completed) {
+            t.printRow({name, ra.completed ? "ok" : "STUCK",
+                        rb.completed ? "ok" : "STUCK", "-", "-"});
+            continue;
+        }
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%.0f%%/%.0f%%",
+                      ra.bufferedPct, rb.bufferedPct);
+        t.printRow({name,
+                    TablePrinter::num(static_cast<double>(ra.runtime)),
+                    TablePrinter::num(static_cast<double>(rb.runtime)),
+                    TablePrinter::num(static_cast<double>(rb.runtime) /
+                                          static_cast<double>(
+                                              ra.runtime),
+                                      2),
+                    pct});
+    }
+    return 0;
+}

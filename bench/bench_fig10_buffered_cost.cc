@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 10: percentage of messages buffered versus the
+ * cost of the buffered path, with T_betw held at 275 cycles and
+ * artificial latency added to the buffer handler.
+ *
+ * Expected shape (paper): synth-10's internal synchronization keeps
+ * its buffered fraction small regardless; synth-100 and synth-1000
+ * blow up once the buffered-path cost exceeds the send interval (the
+ * drain can no longer keep up, so the system stays in buffered mode).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+int
+main()
+{
+    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
+    const unsigned groupsTotal = 3000;
+
+    const unsigned ns[] = {10, 100, 1000};
+    const Cycle extras[] = {0, 100, 200, 400, 800, 1600};
+
+    std::printf("Figure 10: %% messages buffered vs buffered-path cost "
+                "(synth-N, T_betw=275, 1%% skew)\n");
+    TablePrinter t({"N", "extra", "path-cost", "%buffered"},
+                   {6, 7, 10, 10});
+    t.printHeader();
+
+    for (unsigned n : ns) {
+        for (Cycle extra : extras) {
+            apps::SynthAppConfig scfg;
+            scfg.n = n;
+            scfg.groups = std::max(1u, groupsTotal / n);
+            scfg.tBetween = 275;
+            scfg.handlerStall = 200;
+            AppFactory factory = [scfg](unsigned nodes,
+                                        std::uint64_t seed) {
+                apps::SynthAppConfig c = scfg;
+                c.seed = seed;
+                return apps::makeSynthApp(nodes, c);
+            };
+            glaze::MachineConfig mcfg;
+            mcfg.nodes = 4;
+            mcfg.costs.bufferedPathExtra = extra;
+            glaze::GangConfig gcfg;
+            gcfg.quantum = 100000;
+            gcfg.skew = 0.01;
+            RunStats r = runTrials(mcfg, factory, /*with_null=*/true,
+                                   /*gang=*/true, gcfg, trials,
+                                   20000000000ull);
+            t.printRow(
+                {TablePrinter::num(n),
+                 TablePrinter::num(static_cast<double>(extra)),
+                 TablePrinter::num(static_cast<double>(
+                     232 + extra)), // base buffered path + extra
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK"});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 7: percentage of messages traversing the buffered
+ * path for each application multiprogrammed with a null application,
+ * versus decreasing schedule quality (gang-scheduler clock skew).
+ *
+ * Expected shape (paper): applications with intrinsic synchronization
+ * (barrier, and the CRL codes) show an essentially constant, small
+ * buffered fraction; enum — many messages, little synchronization —
+ * grows roughly linearly with skew. Also reports the maximum physical
+ * pages used for buffering (< 7 pages/node in the paper).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+int
+main()
+{
+    Workloads wl;
+    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+    const unsigned trials =
+        std::getenv("FUGU_QUICK") ? 1 : 3;
+
+    const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
+
+    std::printf("Figure 7: %% messages buffered vs schedule skew "
+                "(app + null, gang quantum 100k, %u trial(s))\n",
+                trials);
+    TablePrinter t({"App", "skew", "%buffered", "maxpages", "runtime"},
+                   {8, 6, 10, 8, 12});
+    t.printHeader();
+
+    for (const auto &name : Workloads::names()) {
+        for (double skew : skews) {
+            glaze::MachineConfig mcfg;
+            mcfg.nodes = 8;
+            glaze::GangConfig gcfg;
+            gcfg.quantum = 100000;
+            gcfg.skew = skew;
+            RunStats r =
+                runTrials(mcfg, wl.factory(name), /*with_null=*/true,
+                          /*gang=*/true, gcfg, trials);
+            t.printRow({name, TablePrinter::num(skew * 100, 0) + "%",
+                        r.completed
+                            ? TablePrinter::num(r.bufferedPct, 2)
+                            : "STUCK",
+                        TablePrinter::num(r.maxVbufPages),
+                        TablePrinter::num(
+                            static_cast<double>(r.runtime))});
+        }
+    }
+    return 0;
+}

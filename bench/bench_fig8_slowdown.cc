@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Figure 8: relative runtime of each application
+ * multiprogrammed with a null application versus decreasing schedule
+ * quality, normalized to the zero-skew multiprogrammed runtime.
+ *
+ * Expected shape (paper): barrier is the most skew-sensitive (its
+ * slowdown approaches the inverse of the overlap fraction); enum
+ * tolerates latency and stays nearly flat, paying only the buffering
+ * cost; the CRL applications land in between.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+int
+main()
+{
+    Workloads wl;
+    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
+
+    const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
+
+    std::printf("Figure 8: relative runtime vs schedule skew "
+                "(normalized to zero-skew multiprogrammed run)\n");
+    TablePrinter t({"App", "skew", "rel.runtime", "%buffered"},
+                   {8, 6, 12, 10});
+    t.printHeader();
+
+    for (const auto &name : Workloads::names()) {
+        double base = 0;
+        for (double skew : skews) {
+            glaze::MachineConfig mcfg;
+            mcfg.nodes = 8;
+            glaze::GangConfig gcfg;
+            gcfg.quantum = 100000;
+            gcfg.skew = skew;
+            RunStats r =
+                runTrials(mcfg, wl.factory(name), /*with_null=*/true,
+                          /*gang=*/true, gcfg, trials);
+            if (!r.completed) {
+                t.printRow({name, TablePrinter::num(skew * 100) + "%",
+                            "STUCK", "-"});
+                continue;
+            }
+            if (skew == 0.0)
+                base = static_cast<double>(r.runtime);
+            t.printRow(
+                {name, TablePrinter::num(skew * 100) + "%",
+                 TablePrinter::num(
+                     base > 0 ? static_cast<double>(r.runtime) / base
+                              : 1.0,
+                     3),
+                 TablePrinter::num(r.bufferedPct, 2)});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table 6: application characteristics running standalone
+ * on eight nodes — runtime cycles, total messages, average cycles
+ * between communication events (T_betw = cycles*nodes/messages) and
+ * average cycles per handler (T_hand).
+ *
+ * Default workload sizes are scaled down so the bench finishes in
+ * seconds; set FUGU_PAPER_SCALE=1 for the paper's data sets.
+ * Absolute values are not expected to match the 1998 system; the
+ * *shape* (ordering of communication rates, barrier being the most
+ * communication-intensive, LU the least) should hold. EXPERIMENTS.md
+ * records paper-vs-measured.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double cycles;
+    double msgs;
+    double tbetw;
+    double thand;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"barnes", 45.7e6, 107849, 3390, 337},
+    {"water", 47.6e6, 36303, 10500, 419},
+    {"lu", 13.4e6, 7564, 14200, 478},
+    {"barrier", 18.5e6, 240177, 615, 149},
+    {"enum", 72.7e6, 610148, 953, 320},
+};
+
+} // namespace
+
+int
+main()
+{
+    Workloads wl;
+    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+
+    std::printf("Table 6: application characteristics, standalone on 8 "
+                "nodes%s\n",
+                wl.paperScale ? " (paper-scale data sets)"
+                              : " (scaled-down data sets)");
+    TablePrinter t({"App", "Cycles", "Tot msgs", "T_betw", "T_hand",
+                    "paper: cycles/msgs/T_betw/T_hand"},
+                   {8, 12, 10, 8, 8, 34});
+    t.printHeader();
+
+    glaze::MachineConfig mcfg;
+    mcfg.nodes = 8;
+    glaze::GangConfig unused;
+
+    for (const PaperRow &row : kPaper) {
+        RunStats r = runTrials(mcfg, wl.factory(row.name),
+                               /*with_null=*/false, /*gang=*/false,
+                               unused, /*trials=*/1);
+        if (!r.completed) {
+            t.printRow({row.name, "DID NOT COMPLETE", "-", "-", "-",
+                        "-"});
+            continue;
+        }
+        char paper[80];
+        std::snprintf(paper, sizeof(paper), "%.1fM/%.0fk/%.0f/%.0f",
+                      row.cycles / 1e6, row.msgs / 1e3, row.tbetw,
+                      row.thand);
+        t.printRow({row.name,
+                    TablePrinter::num(static_cast<double>(r.runtime)),
+                    TablePrinter::num(static_cast<double>(r.sent)),
+                    TablePrinter::num(r.tBetween),
+                    TablePrinter::num(r.tHand), paper});
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Overflow control in action: a receiver that refuses to handle
+ * messages (a long atomic section) while a flood arrives, on a node
+ * with a tiny frame pool. Virtual buffering absorbs the flood,
+ * overflow control suspends the offending job, pages buffer pages to
+ * backing store over the second network, and everything is still
+ * delivered exactly once when the receiver finally listens.
+ *
+ *   $ ./examples/overflow
+ */
+
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "glaze/machine.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+using exec::CoTask;
+
+namespace
+{
+
+constexpr int kFlood = 900;
+
+CoTask<void>
+stubbornReceiver(Process &p, int *count)
+{
+    rt::CondVar cv(p.threads());
+    p.port().setHandler(
+        0, [count, &cv](core::UdmPort &port, NodeId) -> CoTask<void> {
+            co_await port.dispose();
+            ++*count;
+            cv.notifyAll();
+        });
+    // Refuse to listen while the flood arrives.
+    co_await p.port().beginAtomic();
+    co_await p.compute(400000);
+    co_await p.port().endAtomic();
+    while (*count < kFlood)
+        co_await cv.wait();
+}
+
+CoTask<void>
+flooder(Process &p)
+{
+    for (int i = 0; i < kFlood; ++i) {
+        std::vector<Word> payload(1, static_cast<Word>(i));
+        co_await p.port().send(1, 0, std::move(payload));
+        co_await p.compute(20);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.nodes = 2;
+    cfg.framesPerNode = 4; // tiny pool: force overflow control
+    cfg.ni.atomicityTimeout = 2000;
+    Machine m(cfg);
+    for (auto &n : m.nodes)
+        n->frames.setLowWatermark(1);
+
+    int count = 0;
+    Job *job = m.addJob("flood", [&count](Process &p) {
+        return p.node() == 0 ? flooder(p)
+                             : stubbornReceiver(p, &count);
+    });
+    m.addJob("null", apps::makeNullApp());
+    GangConfig gang;
+    gang.quantum = 50000;
+    m.startGang(gang);
+
+    if (!m.runUntilDone(job)) {
+        std::printf("flood did not finish\n");
+        return 1;
+    }
+    auto &k1 = m.node(1).kernel;
+    auto &vb = job->procs[1]->vbuf();
+    std::printf("delivered %d/%d messages exactly once\n", count,
+                kFlood);
+    std::printf("atomicity timeouts: %g (revoked the stubborn atomic "
+                "section)\n",
+                m.node(1).ni.stats.atomicityTimeouts.value());
+    std::printf("buffer inserts: %g; peak pages: %g (pool of %u)\n",
+                k1.stats.bufferInserts.value(),
+                vb.stats.peakPages.value(), cfg.framesPerNode);
+    std::printf("overflow-control events: %g; pages swapped out: %g; "
+                "paged back in: %g\n",
+                k1.stats.overflowEvents.value(),
+                vb.stats.swapOuts.value(), vb.stats.pageIns.value());
+    return count == kFlood ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+#include "apps/workloads.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+/** Region ids: body partitions and per-node center-of-mass summaries. */
+crl::Rid
+bodiesRid(NodeId n)
+{
+    return 2000 + n;
+}
+
+crl::Rid
+summaryRid(NodeId n)
+{
+    return 2100 + n;
+}
+
+exec::CoTask<void>
+barnesMain(glaze::Process &p, unsigned nnodes, BarnesAppConfig cfg)
+{
+    AppEnv &e = env(p, nnodes, cfg.seed);
+    const unsigned per = (cfg.bodies + nnodes - 1) / nnodes;
+    const double theta_near = 1; // ring distance treated in detail
+
+    for (NodeId n = 0; n < nnodes; ++n) {
+        e.crl.createRegion(bodiesRid(n), n, 2 * per * 4); // x,y,z,m
+        e.crl.createRegion(summaryRid(n), n, 2 * 4);
+    }
+
+    // Deterministic Plummer-ish sphere of bodies.
+    co_await e.crl.startWrite(bodiesRid(p.node()));
+    for (unsigned i = 0; i < per; ++i) {
+        const unsigned gi = p.node() * per + i;
+        const double u = std::fmod(gi * 0.754877666246693, 1.0);
+        const double v = std::fmod(gi * 0.569840290998053, 1.0);
+        const double w = std::fmod(gi * 0.362436069989013, 1.0);
+        const double rr = std::pow(u + 0.05, 1.0 / 3.0);
+        const double th = 2.0 * 3.141592653589793 * v;
+        const double ph = std::acos(2.0 * w - 1.0);
+        e.crl.writeDouble(bodiesRid(p.node()), i * 4 + 0,
+                          rr * std::sin(ph) * std::cos(th));
+        e.crl.writeDouble(bodiesRid(p.node()), i * 4 + 1,
+                          rr * std::sin(ph) * std::sin(th));
+        e.crl.writeDouble(bodiesRid(p.node()), i * 4 + 2,
+                          rr * std::cos(ph));
+        e.crl.writeDouble(bodiesRid(p.node()), i * 4 + 3, 1.0);
+    }
+    co_await e.crl.endWrite(bodiesRid(p.node()));
+    co_await e.barrier.wait();
+
+    std::vector<double> mine(per * 4);
+    std::vector<double> acc(per * 3);
+    std::vector<double> vel(per * 3, 0.0);
+
+    for (unsigned it = 0; it < cfg.iterations; ++it) {
+        // Publish this partition's center-of-mass summary (the root
+        // of our subtree, in Barnes-Hut terms).
+        co_await e.crl.startRead(bodiesRid(p.node()));
+        for (unsigned i = 0; i < per * 4; ++i)
+            mine[i] = e.crl.readDouble(bodiesRid(p.node()), i);
+        co_await e.crl.endRead(bodiesRid(p.node()));
+
+        double cx = 0, cy = 0, cz = 0, cm = 0;
+        for (unsigned i = 0; i < per; ++i) {
+            cx += mine[i * 4] * mine[i * 4 + 3];
+            cy += mine[i * 4 + 1] * mine[i * 4 + 3];
+            cz += mine[i * 4 + 2] * mine[i * 4 + 3];
+            cm += mine[i * 4 + 3];
+        }
+        co_await e.crl.startWrite(summaryRid(p.node()));
+        e.crl.writeDouble(summaryRid(p.node()), 0, cx / cm);
+        e.crl.writeDouble(summaryRid(p.node()), 1, cy / cm);
+        e.crl.writeDouble(summaryRid(p.node()), 2, cz / cm);
+        e.crl.writeDouble(summaryRid(p.node()), 3, cm);
+        co_await e.crl.endWrite(summaryRid(p.node()));
+        co_await e.barrier.wait();
+
+        std::fill(acc.begin(), acc.end(), 0.0);
+        std::uint64_t interactions = 0;
+
+        for (NodeId o = 0; o < nnodes; ++o) {
+            const unsigned ring = std::min<unsigned>(
+                (o + nnodes - p.node()) % nnodes,
+                (p.node() + nnodes - o) % nnodes);
+            if (o != p.node() && ring > theta_near) {
+                // Far partition: one interaction per body against the
+                // partition's center of mass (the opened tree node).
+                co_await e.crl.startRead(summaryRid(o));
+                const double sx = e.crl.readDouble(summaryRid(o), 0);
+                const double sy = e.crl.readDouble(summaryRid(o), 1);
+                const double sz = e.crl.readDouble(summaryRid(o), 2);
+                const double sm = e.crl.readDouble(summaryRid(o), 3);
+                co_await e.crl.endRead(summaryRid(o));
+                for (unsigned i = 0; i < per; ++i) {
+                    const double dx = sx - mine[i * 4];
+                    const double dy = sy - mine[i * 4 + 1];
+                    const double dz = sz - mine[i * 4 + 2];
+                    const double r2 =
+                        dx * dx + dy * dy + dz * dz + 0.05;
+                    const double f = sm / (r2 * std::sqrt(r2));
+                    acc[i * 3] += f * dx;
+                    acc[i * 3 + 1] += f * dy;
+                    acc[i * 3 + 2] += f * dz;
+                    ++interactions;
+                }
+            } else {
+                // Near partition (or our own): body-by-body.
+                co_await e.crl.startRead(bodiesRid(o));
+                for (unsigned j = 0; j < per; ++j) {
+                    const double bx =
+                        e.crl.readDouble(bodiesRid(o), j * 4);
+                    const double by =
+                        e.crl.readDouble(bodiesRid(o), j * 4 + 1);
+                    const double bz =
+                        e.crl.readDouble(bodiesRid(o), j * 4 + 2);
+                    const double bm =
+                        e.crl.readDouble(bodiesRid(o), j * 4 + 3);
+                    for (unsigned i = 0; i < per; ++i) {
+                        if (o == p.node() && i == j)
+                            continue;
+                        const double dx = bx - mine[i * 4];
+                        const double dy = by - mine[i * 4 + 1];
+                        const double dz = bz - mine[i * 4 + 2];
+                        const double r2 =
+                            dx * dx + dy * dy + dz * dz + 0.05;
+                        const double f = bm / (r2 * std::sqrt(r2));
+                        acc[i * 3] += f * dx;
+                        acc[i * 3 + 1] += f * dy;
+                        acc[i * 3 + 2] += f * dz;
+                        ++interactions;
+                    }
+                }
+                co_await e.crl.endRead(bodiesRid(o));
+            }
+            co_await p.compute(cfg.cyclesPerInteraction * interactions);
+            interactions = 0;
+        }
+
+        // Advance our bodies.
+        co_await e.crl.startWrite(bodiesRid(p.node()));
+        for (unsigned i = 0; i < per; ++i) {
+            for (unsigned d = 0; d < 3; ++d) {
+                vel[i * 3 + d] += 0.001 * acc[i * 3 + d];
+                mine[i * 4 + d] += vel[i * 3 + d];
+                e.crl.writeDouble(bodiesRid(p.node()), i * 4 + d,
+                                  mine[i * 4 + d]);
+            }
+        }
+        co_await e.crl.endWrite(bodiesRid(p.node()));
+        co_await e.barrier.wait();
+    }
+}
+
+} // namespace
+
+AppBody
+makeBarnesApp(unsigned nnodes, BarnesAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return barnesMain(p, nnodes, cfg);
+    };
+}
+
+} // namespace fugu::apps

@@ -1,0 +1,30 @@
+#include "apps/workloads.hh"
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+exec::CoTask<void>
+barrierMain(glaze::Process &p, unsigned nnodes, BarrierAppConfig cfg)
+{
+    AppEnv &e = env(p, nnodes, cfg.seed);
+    for (unsigned i = 0; i < cfg.barriers; ++i) {
+        co_await p.compute(
+            e.rng.uniform(cfg.computeMin, cfg.computeMax));
+        co_await e.barrier.wait();
+    }
+}
+
+} // namespace
+
+AppBody
+makeBarrierApp(unsigned nnodes, BarrierAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return barrierMain(p, nnodes, cfg);
+    };
+}
+
+} // namespace fugu::apps

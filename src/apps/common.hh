@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared plumbing for the paper's workloads: a dissemination barrier
+ * over UDM messages and the per-process application environment.
+ *
+ * The dissemination barrier costs n*ceil(log2 n) messages per episode
+ * (24 on 8 nodes), matching the message count per barrier implied by
+ * the paper's Table 6 barrier application.
+ */
+
+#ifndef FUGU_APPS_COMMON_HH
+#define FUGU_APPS_COMMON_HH
+
+#include <memory>
+#include <vector>
+
+#include "crl/crl.hh"
+#include "glaze/machine.hh"
+#include "rt/thread.hh"
+#include "sim/rng.hh"
+
+namespace fugu::apps
+{
+
+using glaze::AppBody;
+
+/** Handler ids reserved by the app layer (below CRL's base of 64). */
+inline constexpr Word kBarrierHandler = 32;
+
+/** Dissemination barrier across all nodes of a job. */
+class Barrier
+{
+  public:
+    Barrier(glaze::Process &p, unsigned nnodes,
+            Word handler = kBarrierHandler)
+        : p_(p), n_(nnodes), cv_(p.threads())
+    {
+        unsigned rounds = 0;
+        while ((1u << rounds) < n_)
+            ++rounds;
+        arrived_.assign(rounds ? rounds : 1, 0);
+        p_.port().setHandler(
+            handler,
+            [this](core::UdmPort &port, NodeId) -> exec::CoTask<void> {
+                const Word round = co_await port.read(0);
+                // Modelled barrier bookkeeping (Table 6: T_hand 149).
+                co_await p_.compute(100);
+                co_await port.dispose();
+                ++arrived_.at(round);
+                cv_.notifyAll();
+            });
+        handler_ = handler;
+    }
+
+    /** Complete one barrier episode. */
+    exec::CoTask<void>
+    wait()
+    {
+        const NodeId me = p_.node();
+        for (unsigned r = 0; (1u << r) < n_; ++r) {
+            const NodeId to =
+                static_cast<NodeId>((me + (1u << r)) % n_);
+            std::vector<Word> payload(1, r);
+            co_await p_.port().send(to, handler_, std::move(payload));
+            while (arrived_[r] < done_ + 1)
+                co_await cv_.wait();
+        }
+        ++done_;
+    }
+
+    std::uint64_t completed() const { return done_; }
+
+  private:
+    glaze::Process &p_;
+    unsigned n_;
+    Word handler_ = kBarrierHandler;
+    std::vector<std::uint64_t> arrived_;
+    std::uint64_t done_ = 0;
+    rt::CondVar cv_;
+};
+
+/**
+ * Application environment held alive via Process::appData: registered
+ * message handlers reference it for the life of the process.
+ */
+struct AppEnv
+{
+    AppEnv(glaze::Process &p, unsigned nnodes, std::uint64_t seed)
+        : proc(p), nodes(nnodes), crl(p), barrier(p, nnodes),
+          rng(seed ^ (0x9e3779b97f4a7c15ULL * (p.node() + 1)))
+    {}
+
+    glaze::Process &proc;
+    unsigned nodes;
+    crl::Crl crl;
+    Barrier barrier;
+    Rng rng;
+};
+
+/** Create (once) and fetch the AppEnv of a process. */
+inline AppEnv &
+env(glaze::Process &p, unsigned nnodes, std::uint64_t seed = 1)
+{
+    if (!p.appData)
+        p.appData = std::make_shared<AppEnv>(p, nnodes, seed);
+    return *std::static_pointer_cast<AppEnv>(p.appData);
+}
+
+} // namespace fugu::apps
+
+#endif // FUGU_APPS_COMMON_HH

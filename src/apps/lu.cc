@@ -1,0 +1,237 @@
+#include "apps/workloads.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+/** Deterministic, diagonally dominant test matrix. */
+double
+matrixEntry(unsigned n, unsigned r, unsigned c)
+{
+    const double base =
+        static_cast<double>((r * 31 + c * 17 + 3) % 19) - 9.0;
+    return r == c ? base + 2.0 * n : base;
+}
+
+struct LuGrid
+{
+    LuGrid(unsigned n, unsigned bs, unsigned nnodes)
+        : n(n), bs(bs), blocks(n / bs), nodes(nnodes)
+    {
+        fugu_assert(n % bs == 0, "matrix not divisible into blocks");
+    }
+
+    crl::Rid rid(unsigned bi, unsigned bj) const
+    {
+        return bi * blocks + bj;
+    }
+
+    /** Block-cyclic ownership over nodes. */
+    NodeId
+    owner(unsigned bi, unsigned bj) const
+    {
+        return static_cast<NodeId>((bi + bj * blocks) % nodes);
+    }
+
+    unsigned n, bs, blocks, nodes;
+};
+
+/** Copy a region into a dense local block (inside a read section). */
+std::vector<double>
+loadBlock(crl::Crl &crl, crl::Rid rid, unsigned bs)
+{
+    std::vector<double> blk(bs * bs);
+    for (unsigned i = 0; i < bs * bs; ++i)
+        blk[i] = crl.readDouble(rid, i);
+    return blk;
+}
+
+void
+storeBlock(crl::Crl &crl, crl::Rid rid, const std::vector<double> &blk)
+{
+    for (unsigned i = 0; i < blk.size(); ++i)
+        crl.writeDouble(rid, i, blk[i]);
+}
+
+exec::CoTask<void>
+luMain(glaze::Process &p, unsigned nnodes, LuAppConfig cfg,
+       LuResult *result)
+{
+    AppEnv &e = env(p, nnodes, cfg.seed);
+    const LuGrid g(cfg.n, cfg.blockSize, nnodes);
+    const unsigned bs = g.bs;
+    const Cycle flop = cfg.cyclesPerFlop;
+
+    for (unsigned bi = 0; bi < g.blocks; ++bi)
+        for (unsigned bj = 0; bj < g.blocks; ++bj)
+            e.crl.createRegion(g.rid(bi, bj), g.owner(bi, bj),
+                               2 * bs * bs);
+
+    // Initialize owned blocks with the test matrix.
+    for (unsigned bi = 0; bi < g.blocks; ++bi) {
+        for (unsigned bj = 0; bj < g.blocks; ++bj) {
+            if (g.owner(bi, bj) != p.node())
+                continue;
+            co_await e.crl.startWrite(g.rid(bi, bj));
+            for (unsigned r = 0; r < bs; ++r)
+                for (unsigned c = 0; c < bs; ++c)
+                    e.crl.writeDouble(g.rid(bi, bj), r * bs + c,
+                                      matrixEntry(cfg.n, bi * bs + r,
+                                                  bj * bs + c));
+            co_await e.crl.endWrite(g.rid(bi, bj));
+        }
+    }
+    co_await e.barrier.wait();
+
+    for (unsigned k = 0; k < g.blocks; ++k) {
+        const crl::Rid kk = g.rid(k, k);
+
+        // Factor the diagonal block (its owner only).
+        if (g.owner(k, k) == p.node()) {
+            co_await e.crl.startWrite(kk);
+            std::vector<double> d = loadBlock(e.crl, kk, bs);
+            for (unsigned r = 0; r < bs; ++r) {
+                for (unsigned i = r + 1; i < bs; ++i) {
+                    const double m = d[i * bs + r] / d[r * bs + r];
+                    d[i * bs + r] = m;
+                    for (unsigned c = r + 1; c < bs; ++c)
+                        d[i * bs + c] -= m * d[r * bs + c];
+                }
+            }
+            storeBlock(e.crl, kk, d);
+            co_await e.crl.endWrite(kk);
+            co_await p.compute(flop * (2ull * bs * bs * bs) / 3);
+        }
+        co_await e.barrier.wait();
+
+        // Panel updates: column blocks solve against U(k,k), row
+        // blocks against L(k,k).
+        for (unsigned i = k + 1; i < g.blocks; ++i) {
+            if (g.owner(i, k) == p.node()) {
+                const crl::Rid ik = g.rid(i, k);
+                co_await e.crl.startRead(kk);
+                const std::vector<double> d = loadBlock(e.crl, kk, bs);
+                co_await e.crl.startWrite(ik);
+                std::vector<double> a = loadBlock(e.crl, ik, bs);
+                // Solve X * U = A, row by row.
+                for (unsigned r = 0; r < bs; ++r) {
+                    for (unsigned c = 0; c < bs; ++c) {
+                        double s = a[r * bs + c];
+                        for (unsigned m = 0; m < c; ++m)
+                            s -= a[r * bs + m] * d[m * bs + c];
+                        a[r * bs + c] = s / d[c * bs + c];
+                    }
+                }
+                storeBlock(e.crl, ik, a);
+                co_await e.crl.endWrite(ik);
+                co_await e.crl.endRead(kk);
+                co_await p.compute(flop * bs * bs * bs);
+            }
+            if (g.owner(k, i) == p.node()) {
+                const crl::Rid ki = g.rid(k, i);
+                co_await e.crl.startRead(kk);
+                const std::vector<double> d = loadBlock(e.crl, kk, bs);
+                co_await e.crl.startWrite(ki);
+                std::vector<double> a = loadBlock(e.crl, ki, bs);
+                // Solve L * X = A, column by column (L unit lower).
+                for (unsigned c = 0; c < bs; ++c) {
+                    for (unsigned r = 0; r < bs; ++r) {
+                        double s = a[r * bs + c];
+                        for (unsigned m = 0; m < r; ++m)
+                            s -= d[r * bs + m] * a[m * bs + c];
+                        a[r * bs + c] = s;
+                    }
+                }
+                storeBlock(e.crl, ki, a);
+                co_await e.crl.endWrite(ki);
+                co_await e.crl.endRead(kk);
+                co_await p.compute(flop * bs * bs * bs);
+            }
+        }
+        co_await e.barrier.wait();
+
+        // Trailing submatrix update.
+        for (unsigned i = k + 1; i < g.blocks; ++i) {
+            for (unsigned j = k + 1; j < g.blocks; ++j) {
+                if (g.owner(i, j) != p.node())
+                    continue;
+                const crl::Rid ik = g.rid(i, k);
+                const crl::Rid kj = g.rid(k, j);
+                const crl::Rid ij = g.rid(i, j);
+                co_await e.crl.startRead(ik);
+                const std::vector<double> l = loadBlock(e.crl, ik, bs);
+                co_await e.crl.endRead(ik);
+                co_await e.crl.startRead(kj);
+                const std::vector<double> u = loadBlock(e.crl, kj, bs);
+                co_await e.crl.endRead(kj);
+                co_await e.crl.startWrite(ij);
+                std::vector<double> a = loadBlock(e.crl, ij, bs);
+                for (unsigned r = 0; r < bs; ++r)
+                    for (unsigned m = 0; m < bs; ++m) {
+                        const double lv = l[r * bs + m];
+                        for (unsigned c = 0; c < bs; ++c)
+                            a[r * bs + c] -= lv * u[m * bs + c];
+                    }
+                storeBlock(e.crl, ij, a);
+                co_await e.crl.endWrite(ij);
+                co_await p.compute(flop * 2ull * bs * bs * bs);
+            }
+        }
+        co_await e.barrier.wait();
+    }
+
+    // Spot-check the factorization on node 0: reconstruct entries of
+    // L*U and compare against the original matrix.
+    if (result && p.node() == 0) {
+        double max_resid = 0.0;
+        Rng check_rng(cfg.seed + 12345);
+        for (int t = 0; t < 16; ++t) {
+            const unsigned r =
+                static_cast<unsigned>(check_rng.uniform(0, cfg.n - 1));
+            const unsigned c =
+                static_cast<unsigned>(check_rng.uniform(0, cfg.n - 1));
+            double sum = 0.0;
+            const unsigned limit = std::min(r, c);
+            for (unsigned m = 0; m <= limit; ++m) {
+                // L(r,m) (unit diagonal) * U(m,c)
+                double lv;
+                if (m == r) {
+                    lv = 1.0;
+                } else {
+                    const crl::Rid lr = g.rid(r / bs, m / bs);
+                    co_await e.crl.startRead(lr);
+                    lv = e.crl.readDouble(lr,
+                                          (r % bs) * bs + (m % bs));
+                    co_await e.crl.endRead(lr);
+                }
+                const crl::Rid ur = g.rid(m / bs, c / bs);
+                co_await e.crl.startRead(ur);
+                const double uv =
+                    e.crl.readDouble(ur, (m % bs) * bs + (c % bs));
+                co_await e.crl.endRead(ur);
+                sum += lv * uv;
+            }
+            max_resid = std::max(
+                max_resid, std::fabs(sum - matrixEntry(cfg.n, r, c)));
+        }
+        result->maxResidual = max_resid;
+    }
+    co_await e.barrier.wait();
+}
+
+} // namespace
+
+AppBody
+makeLuApp(unsigned nnodes, LuAppConfig cfg, LuResult *result)
+{
+    return [nnodes, cfg, result](glaze::Process &p) {
+        return luMain(p, nnodes, cfg, result);
+    };
+}
+
+} // namespace fugu::apps

@@ -1,0 +1,24 @@
+#include "apps/workloads.hh"
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+exec::CoTask<void>
+nullMain(glaze::Process &p)
+{
+    for (;;)
+        co_await p.compute(10000);
+}
+
+} // namespace
+
+AppBody
+makeNullApp()
+{
+    return [](glaze::Process &p) { return nullMain(p); };
+}
+
+} // namespace fugu::apps

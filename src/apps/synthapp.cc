@@ -1,0 +1,79 @@
+#include "apps/workloads.hh"
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+constexpr Word kSynthReq = 8;
+constexpr Word kSynthReply = 9;
+
+struct SynthState
+{
+    SynthState(glaze::Process &p, SynthAppConfig cfg)
+        : proc(p), cfg(cfg), cv(p.threads()),
+          rng(cfg.seed ^ (0xc2b2ae3d27d4eb4fULL * (p.node() + 1)))
+    {}
+
+    glaze::Process &proc;
+    SynthAppConfig cfg;
+    rt::CondVar cv;
+    Rng rng;
+    std::uint64_t replies = 0;
+};
+
+exec::CoTask<void>
+synthMain(glaze::Process &p, unsigned nnodes, SynthAppConfig cfg)
+{
+    auto st = std::make_shared<SynthState>(p, cfg);
+    p.appData = st;
+
+    p.port().setHandler(
+        kSynthReq,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId src) -> exec::CoTask<void> {
+            co_await port.dispose();
+            // The request handler stalls for a short period, then
+            // sends a reply (Section 5.2).
+            co_await s->proc.compute(s->cfg.handlerStall);
+            co_await port.send(src, kSynthReply);
+        });
+    p.port().setHandler(
+        kSynthReply,
+        [s = st.get()](core::UdmPort &port, NodeId) -> exec::CoTask<void> {
+            co_await port.dispose();
+            ++s->replies;
+            s->cv.notifyAll();
+        });
+
+    std::uint64_t expected = 0;
+    for (unsigned g = 0; g < cfg.groups; ++g) {
+        for (unsigned i = 0; i < cfg.n; ++i) {
+            co_await p.compute(
+                st->rng.uniform(0, 2 * cfg.tBetween));
+            NodeId dst = static_cast<NodeId>(
+                st->rng.uniform(0, nnodes - 2));
+            if (dst >= p.node())
+                ++dst; // uniform over the *other* nodes
+            co_await p.port().send(dst, kSynthReq);
+        }
+        // Wait for all of this group's acknowledgements: an effective
+        // synchronization point limiting outstanding requests to N.
+        expected += cfg.n;
+        while (st->replies < expected)
+            co_await st->cv.wait();
+    }
+}
+
+} // namespace
+
+AppBody
+makeSynthApp(unsigned nnodes, SynthAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return synthMain(p, nnodes, cfg);
+    };
+}
+
+} // namespace fugu::apps

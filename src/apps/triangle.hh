@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Triangle peg-solitaire board geometry, shared by the distributed
+ * enum application and the sequential reference solver the tests use.
+ *
+ * Holes are laid out in rows: index(r, c) = r*(r+1)/2 + c for
+ * 0 <= c <= r < side. A state is a bitmask of occupied holes. A move
+ * jumps a peg from `from` over an occupied `over` into an empty `to`,
+ * removing the jumped peg.
+ */
+
+#ifndef FUGU_APPS_TRIANGLE_HH
+#define FUGU_APPS_TRIANGLE_HH
+
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace fugu::apps
+{
+
+struct TriangleMove
+{
+    unsigned from, over, to;
+};
+
+class TriangleBoard
+{
+  public:
+    explicit TriangleBoard(unsigned side) : side_(side)
+    {
+        fugu_assert(side >= 3 && side <= 7,
+                    "triangle side out of range (state must fit a "
+                    "32-bit word)");
+        buildMoves();
+    }
+
+    unsigned side() const { return side_; }
+    unsigned holes() const { return side_ * (side_ + 1) / 2; }
+
+    /** Full board with the apex hole (0,0) empty. */
+    Word
+    initialState() const
+    {
+        return ((Word{1} << holes()) - 1) & ~Word{1};
+    }
+
+    const std::vector<TriangleMove> &moves() const { return moves_; }
+
+    bool
+    legal(Word state, const TriangleMove &m) const
+    {
+        return (state & (Word{1} << m.from)) &&
+               (state & (Word{1} << m.over)) &&
+               !(state & (Word{1} << m.to));
+    }
+
+    Word
+    apply(Word state, const TriangleMove &m) const
+    {
+        return (state & ~(Word{1} << m.from) & ~(Word{1} << m.over)) |
+               (Word{1} << m.to);
+    }
+
+  private:
+    static unsigned
+    index(unsigned r, unsigned c)
+    {
+        return r * (r + 1) / 2 + c;
+    }
+
+    bool
+    valid(int r, int c) const
+    {
+        return r >= 0 && r < static_cast<int>(side_) && c >= 0 &&
+               c <= r;
+    }
+
+    void
+    buildMoves()
+    {
+        static constexpr int kDirs[6][2] = {{0, 1},  {0, -1}, {1, 0},
+                                            {1, 1},  {-1, 0}, {-1, -1}};
+        for (int r = 0; r < static_cast<int>(side_); ++r) {
+            for (int c = 0; c <= r; ++c) {
+                for (const auto &d : kDirs) {
+                    const int orow = r + d[0], ocol = c + d[1];
+                    const int trow = r + 2 * d[0], tcol = c + 2 * d[1];
+                    if (valid(orow, ocol) && valid(trow, tcol)) {
+                        moves_.push_back(TriangleMove{
+                            index(r, c), index(orow, ocol),
+                            index(trow, tcol)});
+                    }
+                }
+            }
+        }
+    }
+
+    unsigned side_;
+    std::vector<TriangleMove> moves_;
+};
+
+} // namespace fugu::apps
+
+#endif // FUGU_APPS_TRIANGLE_HH

@@ -1,0 +1,115 @@
+#include "apps/workloads.hh"
+
+#include <cmath>
+#include <vector>
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+/** Region id for node @p n 's molecule partition. */
+crl::Rid
+partRid(NodeId n)
+{
+    return 1000 + n;
+}
+
+exec::CoTask<void>
+waterMain(glaze::Process &p, unsigned nnodes, WaterAppConfig cfg)
+{
+    AppEnv &e = env(p, nnodes, cfg.seed);
+    const unsigned per = (cfg.molecules + nnodes - 1) / nnodes;
+    const double box = std::cbrt(static_cast<double>(cfg.molecules));
+    const double cutoff2 = 2.25; // short-range interaction radius^2
+
+    for (NodeId n = 0; n < nnodes; ++n)
+        e.crl.createRegion(partRid(n), n, 2 * per * 3);
+
+    // Deterministic initial positions: jittered lattice.
+    std::vector<double> vel(per * 3, 0.0);
+    co_await e.crl.startWrite(partRid(p.node()));
+    for (unsigned i = 0; i < per; ++i) {
+        const unsigned gi = p.node() * per + i;
+        const double fx = std::fmod(gi * 1.618033988749895, 1.0);
+        const double fy = std::fmod(gi * 2.414213562373095, 1.0);
+        const double fz = std::fmod(gi * 3.302775637731995, 1.0);
+        e.crl.writeDouble(partRid(p.node()), i * 3 + 0, fx * box);
+        e.crl.writeDouble(partRid(p.node()), i * 3 + 1, fy * box);
+        e.crl.writeDouble(partRid(p.node()), i * 3 + 2, fz * box);
+    }
+    co_await e.crl.endWrite(partRid(p.node()));
+    co_await e.barrier.wait();
+
+    std::vector<double> mine(per * 3);
+    std::vector<double> force(per * 3);
+    for (unsigned it = 0; it < cfg.iterations; ++it) {
+        // Snapshot our own positions.
+        co_await e.crl.startRead(partRid(p.node()));
+        for (unsigned i = 0; i < per * 3; ++i)
+            mine[i] = e.crl.readDouble(partRid(p.node()), i);
+        co_await e.crl.endRead(partRid(p.node()));
+
+        std::fill(force.begin(), force.end(), 0.0);
+        std::uint64_t interactions = 0;
+
+        // Pairwise short-range forces against every partition
+        // (including our own).
+        for (NodeId o = 0; o < nnodes; ++o) {
+            co_await e.crl.startRead(partRid(o));
+            for (unsigned i = 0; i < per; ++i) {
+                for (unsigned j = 0; j < per; ++j) {
+                    if (o == p.node() && i == j)
+                        continue;
+                    const double dx =
+                        mine[i * 3] -
+                        e.crl.readDouble(partRid(o), j * 3);
+                    const double dy =
+                        mine[i * 3 + 1] -
+                        e.crl.readDouble(partRid(o), j * 3 + 1);
+                    const double dz =
+                        mine[i * 3 + 2] -
+                        e.crl.readDouble(partRid(o), j * 3 + 2);
+                    const double r2 = dx * dx + dy * dy + dz * dz;
+                    if (r2 > cutoff2 || r2 == 0.0)
+                        continue;
+                    ++interactions;
+                    const double f = 1.0 / (r2 * r2) - 0.5 / r2;
+                    force[i * 3] += f * dx;
+                    force[i * 3 + 1] += f * dy;
+                    force[i * 3 + 2] += f * dz;
+                }
+            }
+            co_await e.crl.endRead(partRid(o));
+            // Charge the scan cost for this partition as it is
+            // processed, so communication and compute interleave.
+            (void)interactions;
+            co_await p.compute(cfg.cyclesPerPair * per * per);
+            interactions = 0;
+        }
+
+        // Integrate and publish the new positions.
+        co_await e.crl.startWrite(partRid(p.node()));
+        for (unsigned i = 0; i < per * 3; ++i) {
+            vel[i] = 0.9 * vel[i] + 0.001 * force[i];
+            const double x =
+                e.crl.readDouble(partRid(p.node()), i) + vel[i];
+            e.crl.writeDouble(partRid(p.node()), i, x);
+        }
+        co_await e.crl.endWrite(partRid(p.node()));
+        co_await e.barrier.wait();
+    }
+}
+
+} // namespace
+
+AppBody
+makeWaterApp(unsigned nnodes, WaterAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return waterMain(p, nnodes, cfg);
+    };
+}
+
+} // namespace fugu::apps

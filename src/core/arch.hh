@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Architectural constants shared by the NI hardware model (core) and
+ * the operating system (glaze): interrupt line assignments, trap
+ * vectors, UAC register bits, and message header encoding.
+ */
+
+#ifndef FUGU_CORE_ARCH_HH
+#define FUGU_CORE_ARCH_HH
+
+#include "sim/types.hh"
+
+namespace fugu::core
+{
+
+/**
+ * Interrupt line assignment (smaller number = higher priority).
+ * All hardware interrupts vector into the kernel; message-available
+ * is converted into a user-level upcall by the OS stub (Section 4.1).
+ */
+enum IrqLine : unsigned
+{
+    kIrqMismatchAvailable = 0, ///< GID mismatch / any msg in divert mode
+    kIrqAtomicityTimeout = 1,  ///< atomic section timer expired
+    kIrqMessageAvailable = 2,  ///< matching user message at the head
+    kIrqOsNet = 3,             ///< second (OS) network arrival
+    kIrqSched = 4,             ///< scheduler quantum tick
+};
+
+/** Trap vectors (Table 2 traps + page fault). */
+enum TrapVec : unsigned
+{
+    kTrapProtectionViolation = 0,
+    kTrapBadDispose = 1,
+    kTrapDisposeFailure = 2,
+    kTrapAtomicityExtend = 3,
+    kTrapDisposeExtend = 4,
+    kTrapPageFault = 5,
+};
+
+/**
+ * User Atomicity Control register bits (Table 3). The two low bits
+ * are user-writable via beginatom/endatom; the two high bits are
+ * kernel-only.
+ */
+enum UacBits : unsigned
+{
+    kUacInterruptDisable = 1u << 0,
+    kUacTimerForce = 1u << 1,
+    kUacDisposePending = 1u << 2,  // kernel
+    kUacAtomicityExtend = 1u << 3, // kernel
+
+    kUacUserMask = kUacInterruptDisable | kUacTimerForce,
+    kUacKernelMask = kUacDisposePending | kUacAtomicityExtend,
+};
+
+/**
+ * Routing-header word layout. On the send side word 0 names the
+ * destination; bit 16 marks an operating-system (kernel) message,
+ * which user code may not launch (protection-violation). On the
+ * receive side word 0 carries the source node the same way.
+ */
+inline constexpr Word kHeaderKernelBit = 1u << 16;
+
+inline Word
+makeHeader(NodeId node, bool kernel = false)
+{
+    return static_cast<Word>(node) | (kernel ? kHeaderKernelBit : 0);
+}
+
+inline NodeId
+headerNode(Word header)
+{
+    return static_cast<NodeId>(header & 0xffff);
+}
+
+inline bool
+headerKernel(Word header)
+{
+    return header & kHeaderKernelBit;
+}
+
+} // namespace fugu::core
+
+#endif // FUGU_CORE_ARCH_HH

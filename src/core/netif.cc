@@ -1,0 +1,331 @@
+#include "core/netif.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace fugu::core
+{
+
+namespace
+{
+bool
+niTraceOn()
+{
+    static const bool on = std::getenv("FUGU_NI_TRACE") != nullptr;
+    return on;
+}
+} // namespace
+
+unsigned
+trapVector(NiTrap t)
+{
+    switch (t) {
+      case NiTrap::Protection: return kTrapProtectionViolation;
+      case NiTrap::BadDispose: return kTrapBadDispose;
+      case NiTrap::DisposeFailure: return kTrapDisposeFailure;
+      case NiTrap::AtomicityExtend: return kTrapAtomicityExtend;
+      case NiTrap::DisposeExtend: return kTrapDisposeExtend;
+      case NiTrap::None: break;
+    }
+    fugu_panic("no vector for NiTrap::None");
+}
+
+NetIf::Stats::Stats(StatGroup *parent, NodeId id)
+    : group("ni" + std::to_string(id), parent),
+      launches(&group, "launches", "messages launched"),
+      received(&group, "received", "messages accepted from the network"),
+      disposed(&group, "disposed", "messages disposed"),
+      mismatchIrqs(&group, "mismatch_irqs",
+                   "mismatch-available assertions"),
+      messageIrqs(&group, "message_irqs",
+                  "message-available assertions"),
+      atomicityTimeouts(&group, "atomicity_timeouts",
+                        "atomicity timer expirations")
+{
+}
+
+NetIf::NetIf(exec::Cpu &cpu, net::Network &network, NodeId id,
+             NetIfConfig cfg, StatGroup *stat_parent)
+    : stats(stat_parent, id), cpu_(cpu), network_(network), id_(id),
+      cfg_(cfg), outBuf_(net::kMaxMessageWords, 0)
+{
+    fugu_assert(cfg_.inputQueueMsgs >= 1);
+    network_.attach(id, this);
+}
+
+// ---------------------------------------------------------------------
+// Network side
+// ---------------------------------------------------------------------
+
+bool
+NetIf::tryDeliver(net::Packet &&pkt)
+{
+    if (inq_.size() >= cfg_.inputQueueMsgs)
+        return false;
+    inq_.push_back(std::move(pkt));
+    ++stats.received;
+    if (niTraceOn())
+        std::printf("[ni] n%u deliver h=%u src=%u q=%zu\n", id_,
+                    inq_.back().handler, inq_.back().src, inq_.size());
+    updateLines();
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// User-visible registers
+// ---------------------------------------------------------------------
+
+bool
+NetIf::messageAvailable() const
+{
+    return !inq_.empty() && !divert_ && inq_.front().gid == gid_;
+}
+
+unsigned
+NetIf::inputSize() const
+{
+    return inq_.empty() ? 0 : inq_.front().size();
+}
+
+Word
+NetIf::readInput(unsigned offset) const
+{
+    fugu_assert(!inq_.empty(), "input window read with no message");
+    const net::Packet &p = inq_.front();
+    if (offset == 0)
+        return makeHeader(p.src, p.gid == kKernelGid);
+    if (offset == 1)
+        return p.handler;
+    fugu_assert(offset - 2 < p.payload.size(),
+                "input window read past message end (offset ", offset,
+                ")");
+    return p.payload[offset - 2];
+}
+
+void
+NetIf::writeOutput(unsigned offset, Word w)
+{
+    fugu_assert(offset < net::kMaxMessageWords,
+                "output descriptor overflow (offset ", offset, ")");
+    outBuf_[offset] = w;
+    if (offset + 1 > descLen_)
+        descLen_ = offset + 1;
+}
+
+bool
+NetIf::spaceAvailable(NodeId dst, unsigned words) const
+{
+    return network_.canAccept(id_, dst, words);
+}
+
+// ---------------------------------------------------------------------
+// Operations (Table 1)
+// ---------------------------------------------------------------------
+
+NiTrap
+NetIf::launch(unsigned n, bool user_mode)
+{
+    fugu_assert(n >= 2 && n <= net::kMaxMessageWords, "bad launch size ",
+                n);
+    if (user_mode && headerKernel(outBuf_[0]))
+        return NiTrap::Protection;
+    if (descLen_ == 0)
+        return NiTrap::None; // Table 1: nothing described, no effect
+    fugu_assert(n <= descLen_, "launch length ", n,
+                " exceeds described ", descLen_);
+
+    net::Packet pkt;
+    pkt.src = id_;
+    pkt.dst = headerNode(outBuf_[0]);
+    // The hardware stamps the GID of the current application; kernel
+    // launches are stamped with the kernel GID.
+    pkt.gid = user_mode ? gid_ : kKernelGid;
+    pkt.handler = outBuf_[1];
+    pkt.payload.assign(outBuf_.begin() + 2, outBuf_.begin() + n);
+    network_.send(std::move(pkt));
+
+    descLen_ = 0;
+    ++stats.launches;
+    return NiTrap::None;
+}
+
+NiTrap
+NetIf::dispose(bool user_mode)
+{
+    if (user_mode && divert_)
+        return NiTrap::DisposeExtend;
+    if (!messageAvailable() && user_mode)
+        return NiTrap::BadDispose;
+    fugu_assert(!inq_.empty(), "dispose with empty input queue");
+    if (niTraceOn())
+        std::printf("[ni] n%u dispose h=%u src=%u\n", id_,
+                    inq_.front().handler, inq_.front().src);
+    inq_.pop_front();
+    ++stats.disposed;
+    // Table 3: dispose resets dispose-pending and presets the timer.
+    uac_ &= ~kUacDisposePending;
+    network_.onSinkSpaceFreed(id_);
+    updateLines(/*restart_timer=*/true);
+    return NiTrap::None;
+}
+
+void
+NetIf::beginAtom(unsigned mask)
+{
+    uac_ |= mask & kUacUserMask;
+    updateLines();
+}
+
+NiTrap
+NetIf::endAtom(unsigned mask)
+{
+    if (uac_ & kUacDisposePending)
+        return NiTrap::DisposeFailure;
+    if (uac_ & kUacAtomicityExtend)
+        return NiTrap::AtomicityExtend;
+    uac_ &= ~(mask & kUacUserMask);
+    updateLines();
+    return NiTrap::None;
+}
+
+// ---------------------------------------------------------------------
+// Kernel registers and privileged operations
+// ---------------------------------------------------------------------
+
+void
+NetIf::setGid(Gid gid)
+{
+    gid_ = gid;
+    updateLines();
+}
+
+void
+NetIf::setDivert(bool on)
+{
+    divert_ = on;
+    updateLines();
+}
+
+void
+NetIf::setAtomicityTimeout(Cycle preset)
+{
+    fugu_assert(preset > 0);
+    cfg_.atomicityTimeout = preset;
+}
+
+void
+NetIf::setKernelUac(unsigned set_mask, unsigned clear_mask)
+{
+    uac_ |= set_mask & kUacKernelMask;
+    uac_ &= ~(clear_mask & kUacKernelMask);
+    updateLines();
+}
+
+void
+NetIf::writeUac(unsigned value)
+{
+    uac_ = value & (kUacUserMask | kUacKernelMask);
+    updateLines();
+}
+
+bool
+NetIf::mismatchPending() const
+{
+    return !inq_.empty() && (divert_ || inq_.front().gid != gid_);
+}
+
+const net::Packet *
+NetIf::head() const
+{
+    return inq_.empty() ? nullptr : &inq_.front();
+}
+
+net::Packet
+NetIf::kernelExtract()
+{
+    fugu_assert(!inq_.empty(), "kernelExtract with empty queue");
+    net::Packet p = std::move(inq_.front());
+    inq_.pop_front();
+    ++stats.disposed;
+    network_.onSinkSpaceFreed(id_);
+    updateLines(/*restart_timer=*/true);
+    return p;
+}
+
+std::vector<Word>
+NetIf::saveOutput()
+{
+    std::vector<Word> saved(outBuf_.begin(), outBuf_.begin() + descLen_);
+    descLen_ = 0;
+    return saved;
+}
+
+void
+NetIf::restoreOutput(const std::vector<Word> &saved)
+{
+    fugu_assert(descLen_ == 0, "restoreOutput over a live descriptor");
+    std::copy(saved.begin(), saved.end(), outBuf_.begin());
+    descLen_ = static_cast<unsigned>(saved.size());
+}
+
+void
+NetIf::subscribeSpace(NodeId dst, std::function<void()> cb)
+{
+    network_.subscribeSpace(id_, dst, std::move(cb));
+}
+
+// ---------------------------------------------------------------------
+// Interrupt line / timer recomputation
+// ---------------------------------------------------------------------
+
+void
+NetIf::raiseLine(unsigned line, bool want)
+{
+    if (want == linesRaised_[line])
+        return;
+    linesRaised_[line] = want;
+    if (want)
+        cpu_.raiseIrq(line);
+    else
+        cpu_.lowerIrq(line);
+}
+
+void
+NetIf::updateLines(bool restart_timer)
+{
+    const bool pending_user = messageAvailable();
+    const bool mismatch = mismatchPending();
+    const bool msg_irq = pending_user && !(uac_ & kUacInterruptDisable);
+
+    if (msg_irq && !linesRaised_[kIrqMessageAvailable])
+        ++stats.messageIrqs;
+    if (mismatch && !linesRaised_[kIrqMismatchAvailable])
+        ++stats.mismatchIrqs;
+
+    raiseLine(kIrqMismatchAvailable, mismatch);
+    raiseLine(kIrqMessageAvailable, msg_irq);
+
+    // Table 3 timer enable: timer-force, or interrupts disabled while
+    // a message for this application is pending.
+    const bool timer_en = (uac_ & kUacTimerForce) ||
+                          ((uac_ & kUacInterruptDisable) && pending_user);
+    if (!timer_en) {
+        if (timerRunning_) {
+            cpu_.cancelUserTimer();
+            timerRunning_ = false;
+        }
+        return;
+    }
+    if (!timerRunning_ || restart_timer) {
+        timerRunning_ = true;
+        cpu_.setUserTimer(cfg_.atomicityTimeout, [this] {
+            timerRunning_ = false;
+            ++stats.atomicityTimeouts;
+            cpu_.raiseIrq(kIrqAtomicityTimeout);
+        });
+    }
+}
+
+} // namespace fugu::core

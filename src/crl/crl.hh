@@ -1,0 +1,244 @@
+/**
+ * @file
+ * CRL: an all-software region-based distributed shared memory system
+ * built on UDM messages, in the spirit of Johnson, Kaashoek &
+ * Wallach's C Region Library (SOSP '95), which the paper's Barnes,
+ * Water and LU workloads run on.
+ *
+ * Shared data lives in fixed-size *regions*, each with a fixed home
+ * node holding the master copy and a directory. Nodes map regions and
+ * bracket accesses with startRead/endRead and startWrite/endWrite; a
+ * home-based MSI invalidate protocol moves data in 12-word chunks
+ * over UDM. The message mix this produces — many small request/reply
+ * packets plus larger data packets — is the "operating-system-like"
+ * load the paper describes (Section 5.1).
+ *
+ * Handlers never block: multi-step home transactions (writeback
+ * fetches, invalidation rounds) are state machines advanced by
+ * message handlers, and client threads wait on a condition variable.
+ */
+
+#ifndef FUGU_CRL_CRL_HH
+#define FUGU_CRL_CRL_HH
+
+#include <bit>
+#include <ostream>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "glaze/process.hh"
+#include "rt/thread.hh"
+#include "sim/stats.hh"
+
+namespace fugu::crl
+{
+
+/** Region identifier; applications assign these deterministically. */
+using Rid = std::uint32_t;
+
+/** First UDM handler id used by the protocol (8 ids). */
+inline constexpr Word kCrlHandlerBase = 64;
+
+/** Data words carried per chunk message. */
+inline constexpr unsigned kChunkWords = 12;
+
+class Crl
+{
+  public:
+    explicit Crl(glaze::Process &proc,
+                 Word handler_base = kCrlHandlerBase);
+
+    Crl(const Crl &) = delete;
+    Crl &operator=(const Crl &) = delete;
+
+    /**
+     * Declare a region. Must be called symmetrically on every node
+     * (same rid/home/words); the home node allocates the master copy.
+     */
+    void createRegion(Rid rid, NodeId home, unsigned words);
+
+    /// @name Access sections (called from application threads)
+    /// @{
+
+    exec::CoTask<void> startRead(Rid rid);
+    exec::CoTask<void> endRead(Rid rid);
+    exec::CoTask<void> startWrite(Rid rid);
+    exec::CoTask<void> endWrite(Rid rid);
+
+    /// @}
+    /// @name Data access (only inside the matching section)
+    /// @{
+
+    Word read(Rid rid, unsigned off) const;
+    void write(Rid rid, unsigned off, Word w);
+
+    double
+    readDouble(Rid rid, unsigned idx) const
+    {
+        const std::uint64_t lo = read(rid, 2 * idx);
+        const std::uint64_t hi = read(rid, 2 * idx + 1);
+        return std::bit_cast<double>(lo | (hi << 32));
+    }
+
+    void
+    writeDouble(Rid rid, unsigned idx, double v)
+    {
+        const auto u = std::bit_cast<std::uint64_t>(v);
+        write(rid, 2 * idx, static_cast<Word>(u));
+        write(rid, 2 * idx + 1, static_cast<Word>(u >> 32));
+    }
+
+    /// @}
+
+    struct Stats
+    {
+        Stats(StatGroup *parent, NodeId node, Gid gid);
+        StatGroup group;
+        Scalar startOps;
+        Scalar hits;
+        Scalar misses;
+        Scalar invalidationsSent;
+        Scalar writebacks;
+        Scalar upgrades;
+    };
+
+    Stats stats;
+
+    /**
+     * Modelled protocol-processing cost charged by every CRL message
+     * handler (decode, directory lookup, state update). Tunable so
+     * Table 6's handler occupancies can be calibrated.
+     */
+    Cycle handlerCost = 220;
+
+    /** Dump client/home protocol state (debugging aid). */
+    void debugDump(std::ostream &os) const;
+
+  private:
+    /** Cached-copy state on a client node. */
+    enum class CMode
+    {
+        Inv,
+        Shared,
+        Excl,
+    };
+
+    /** Directory state at the home node. */
+    enum class HMode
+    {
+        Idle,
+        Shared,
+        Excl,
+    };
+
+    /** Home transaction phase. */
+    enum class Phase
+    {
+        None,
+        WaitWb,
+        WaitInvAcks,
+    };
+
+    struct Client
+    {
+        NodeId home = 0;
+        unsigned words = 0;
+        CMode mode = CMode::Inv;
+        std::vector<Word> data;
+        int readers = 0;
+        bool writing = false;
+        bool reqOutstanding = false;
+        bool claimPending = false; ///< granted copy not yet used once:
+                                   ///< invalidations/fetches defer so
+                                   ///< contending nodes cannot livelock
+        bool invPending = false;   ///< ack deferred until readers drain
+        bool fetchPending = false; ///< writeback deferred until endWrite
+        bool fetchDemoteToInv = false;
+        unsigned fillWords = 0; ///< chunk progress for an inbound copy
+    };
+
+    struct Req
+    {
+        NodeId node;
+        bool isWrite;
+    };
+
+    struct Home
+    {
+        unsigned words = 0;
+        HMode mode = HMode::Idle;
+        NodeId owner = 0;
+        std::vector<NodeId> sharers;
+        std::vector<Word> data;
+        std::deque<Req> queue;
+        Phase phase = Phase::None;
+        Req cur{0, false};
+        bool curActive = false; ///< a transaction is mid-flight
+        bool inAdvance = false; ///< re-entrancy guard for homeAdvance
+        unsigned invAcksLeft = 0;
+        unsigned wbFill = 0;
+    };
+
+    /// @name Message ids (offsets from handler_base_)
+    /// @{
+    enum MsgId : Word
+    {
+        kReqRead = 0,
+        kReqWrite = 1,
+        kFetch = 2,   ///< payload: rid, demote_to_inv
+        kInv = 3,     ///< payload: rid
+        kInvAck = 4,  ///< payload: rid
+        kChunk = 5,   ///< payload: rid, off, data... (home->client)
+        kGrant = 6,   ///< payload: rid, mode, with_data
+        kWbChunk = 7, ///< payload: rid, off, data... (owner->home)
+        kWbDone = 8,  ///< payload: rid, owner_new_mode
+    };
+    /// @}
+
+    void registerHandlers();
+
+    /** Advance the home state machine for @p rid. */
+    exec::CoTask<void> homeAdvance(Rid rid);
+
+    /** Grant the current transaction's request (phase None reached). */
+    exec::CoTask<void> homeGrant(Rid rid);
+
+    /** Send a region copy in chunks followed by a grant. */
+    exec::CoTask<void> sendCopy(Rid rid, NodeId dst, bool excl,
+                                bool with_data);
+
+    /** Owner-side writeback (messages, or a local copy at the home). */
+    exec::CoTask<void> writeBack(Rid rid, bool demote_to_inv);
+
+    /** Client-side invalidation acknowledgement. */
+    exec::CoTask<void> ackInvalidate(Rid rid);
+
+    /** Update directory state after a writeback from @p owner. */
+    void applyWbState(Home &h, NodeId owner, bool demoted_to_inv);
+
+    /** Record an invalidation ack (removes the sharer). */
+    void homeInvAck(Rid rid, NodeId node);
+
+    /** Invalidate the home node's own cached copy (no messages). */
+    void localInvalidate(Rid rid);
+
+    exec::CoTask<void> sendMsg(NodeId dst, MsgId id,
+                               std::vector<Word> payload);
+
+    Client &client(Rid rid);
+    const Client &client(Rid rid) const;
+    Home &home(Rid rid);
+    bool isHome(Rid rid) const;
+
+    glaze::Process &proc_;
+    Word base_;
+    std::unordered_map<Rid, Client> clients_;
+    std::unordered_map<Rid, Home> homes_;
+    rt::CondVar cv_;
+};
+
+} // namespace fugu::crl
+
+#endif // FUGU_CRL_CRL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Context: a schedulable stream of execution on a simulated Cpu.
+ *
+ * Kernel interrupt/trap handlers, user threads and user upcall handlers
+ * are all Contexts. A Context wraps a top-level Task coroutine plus the
+ * bookkeeping the Cpu needs to preempt it in the middle of a cycle
+ * spend ("freeze") and later resume it with the leftover cycles intact.
+ */
+
+#ifndef FUGU_EXEC_CONTEXT_HH
+#define FUGU_EXEC_CONTEXT_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exec/task.hh"
+#include "sim/types.hh"
+
+namespace fugu::exec
+{
+
+class Cpu;
+class Context;
+
+using ContextPtr = std::shared_ptr<Context>;
+
+/** Lifecycle of a Context. */
+enum class CtxState
+{
+    Unstarted, ///< created, never dispatched
+    Active,    ///< logically executing on the Cpu (incl. inside spend)
+    Frozen,    ///< preempted mid-spend; `remaining` cycles still owed
+    Ready,     ///< suspended at a yield point, eligible for dispatch
+    Blocked,   ///< waiting for an explicit wake()
+    Finished,  ///< top-level coroutine ran to completion
+};
+
+const char *toString(CtxState s);
+
+class Context : public std::enable_shared_from_this<Context>
+{
+  public:
+    Context(Cpu *cpu, std::string name, bool kernel, Task task);
+    ~Context() = default;
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    const std::string &name() const { return name_; }
+    Cpu *cpu() const { return cpu_; }
+
+    /** Kernel contexts are never preempted by interrupts. */
+    bool isKernel() const { return kernel_; }
+    bool preemptible() const { return !kernel_; }
+
+    CtxState state() const { return state_; }
+    bool finished() const { return state_ == CtxState::Finished; }
+
+    /** Cycles still owed from a preempted spend (Frozen only). */
+    Cycle remaining() const { return remaining_; }
+
+    /**
+     * Context to resume when this one finishes (set for interrupt and
+     * trap handlers). A handler that wants to divert control (e.g., a
+     * scheduler quantum switch) takes it with takeReturnTo().
+     */
+    ContextPtr returnTo() const { return returnTo_; }
+    ContextPtr
+    takeReturnTo()
+    {
+        return std::exchange(returnTo_, nullptr);
+    }
+    void setReturnTo(ContextPtr c) { returnTo_ = std::move(c); }
+
+    /** Scratch value a trap handler hands back to the trapping code. */
+    std::uint64_t trapResult = 0;
+
+    /** Argument passed along with a trap. */
+    std::uint64_t trapArg = 0;
+
+  private:
+    friend class Cpu;
+
+    Cpu *cpu_;
+    std::string name_;
+    bool kernel_;
+    Task task_;
+    CtxState state_ = CtxState::Unstarted;
+
+    /** Where to continue this context (set by awaitables on suspend). */
+    std::coroutine_handle<> resumePoint_;
+
+    /** Cycles left in the interrupted spend (valid when Frozen). */
+    Cycle remaining_ = 0;
+
+    ContextPtr returnTo_;
+};
+
+} // namespace fugu::exec
+
+#endif // FUGU_EXEC_CONTEXT_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Cpu: the simulated processor core that executes Contexts.
+ *
+ * Exactly one Context is logically running on a Cpu at any time.
+ * Simulated code advances time by awaiting spend(n); interrupts raised
+ * by devices preempt a preemptible (user) context *in the middle* of a
+ * spend with exact cycle accounting: the context is frozen with its
+ * leftover cycles and a kernel handler context is dispatched. Kernel
+ * contexts run with interrupts implicitly masked (they are never
+ * preempted); pending lines are re-examined whenever the Cpu has to
+ * decide what to run next.
+ *
+ * The Cpu has no scheduling policy of its own: when a context finishes
+ * or blocks and no handler/return path is pending, it consults an
+ * idle hook installed by the operating system.
+ */
+
+#ifndef FUGU_EXEC_CPU_HH
+#define FUGU_EXEC_CPU_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/context.hh"
+#include "exec/task.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fugu::exec
+{
+
+/** Number of interrupt lines a Cpu provides. */
+inline constexpr unsigned kNumIrqLines = 8;
+
+/** Number of trap vectors a Cpu provides. */
+inline constexpr unsigned kNumTrapVectors = 16;
+
+class Cpu
+{
+  public:
+    /** Builds a kernel handler task for a dispatched interrupt line. */
+    using IrqHandlerFactory = std::function<Task(unsigned line)>;
+
+    /** Builds a kernel handler task for a trap taken by @p victim. */
+    using TrapHandlerFactory = std::function<Task(ContextPtr victim)>;
+
+    Cpu(EventQueue &eq, NodeId id, StatGroup *stat_parent);
+    ~Cpu();
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    NodeId id() const { return id_; }
+    EventQueue &eq() { return eq_; }
+    Cycle now() const { return eq_.now(); }
+
+    /// @name Wiring (done once at machine construction)
+    /// @{
+
+    /**
+     * Install the kernel handler for an interrupt line. Lines are
+     * level-triggered by default: the device holds the line with
+     * raiseIrq until the cause is quiesced. A pulse line is
+     * auto-cleared when its handler is dispatched.
+     */
+    void setIrqHandler(unsigned line, IrqHandlerFactory factory,
+                       bool pulse = false);
+
+    /** Install the kernel handler for a trap vector. */
+    void setTrapHandler(unsigned vec, TrapHandlerFactory factory);
+
+    /**
+     * Called when the Cpu has nothing to run; typically the OS
+     * dispatcher, which may call switchTo() or leave the Cpu idle.
+     */
+    void setIdleHook(std::function<void()> hook);
+
+    /// @}
+    /// @name Device interface
+    /// @{
+
+    void raiseIrq(unsigned line);
+    void lowerIrq(unsigned line);
+    bool irqRaised(unsigned line) const;
+
+    /// @}
+    /// @name Context management (kernel / runtime code)
+    /// @{
+
+    /** Create a context; it does not run until switched to. */
+    ContextPtr spawn(std::string name, bool kernel, Task task);
+
+    /**
+     * Make @p ctx the current context. The Cpu must be idle (no
+     * current context). Valid for Unstarted, Ready, Frozen, and
+     * Blocked contexts (resuming a Blocked context is how trap/upcall
+     * return paths work; run-queue state is the caller's business).
+     */
+    void switchTo(ContextPtr ctx);
+
+    /** Mark a Blocked context Ready (bookkeeping only; no dispatch). */
+    void wake(const ContextPtr &ctx);
+
+    /** If the Cpu is idle, arrange for a dispatch decision at `now`. */
+    void requestDispatch();
+
+    /** The currently running context (null when idle). */
+    const ContextPtr &current() const { return current_; }
+
+    /// @}
+    /// @name Awaitables, used from coroutine code running on this Cpu
+    /// @{
+
+    struct SpendAwaiter
+    {
+        Cpu *cpu;
+        Cycle n;
+        bool await_ready() const noexcept { return false; }
+        /** @return false to continue immediately (zero-cycle spend). */
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            return cpu->onSpendSuspend(n, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /** Consume @p n cycles; interruptible for user contexts. */
+    SpendAwaiter spend(Cycle n) { return {this, n}; }
+
+    struct BlockAwaiter
+    {
+        Cpu *cpu;
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cpu->onBlockSuspend(h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /** Suspend the current context until it is switched to again. */
+    BlockAwaiter block() { return {this}; }
+
+    struct YieldAwaiter
+    {
+        Cpu *cpu;
+        ContextPtr next;
+        bool blockSelf;
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cpu->onYieldSuspend(h, std::move(next), blockSelf);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /**
+     * Switch directly to @p next, leaving the current context Ready
+     * (or Blocked when @p block_self).
+     */
+    YieldAwaiter
+    yieldTo(ContextPtr next, bool block_self = false)
+    {
+        return {this, std::move(next), block_self};
+    }
+
+    struct TrapAwaiter
+    {
+        Cpu *cpu;
+        unsigned vec;
+        std::uint64_t arg;
+        ContextPtr victim;
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            victim = cpu->onTrapSuspend(h, vec, arg);
+        }
+        /** @return the trap handler's result value. */
+        std::uint64_t await_resume() noexcept { return victim->trapResult; }
+    };
+
+    /**
+     * Take a synchronous trap into the kernel. The current context
+     * blocks; the trap handler runs with returnTo set to the victim,
+     * so finishing the handler resumes the trapped code (unless the
+     * handler steals the return).
+     */
+    TrapAwaiter trap(unsigned vec, std::uint64_t arg = 0)
+    {
+        return {this, vec, arg, nullptr};
+    }
+
+    /// @}
+    /// @name User-cycle timer (backs the NI atomicity timer)
+    /// @{
+
+    /**
+     * Arrange for @p cb to run after @p user_cycles of *user* (i.e.
+     * preemptible-context) execution have elapsed. Kernel execution
+     * and idle time do not advance the timer. One timer slot exists.
+     */
+    void setUserTimer(Cycle user_cycles, std::function<void()> cb);
+    void cancelUserTimer();
+    bool userTimerActive() const { return timer_.active; }
+    Cycle userTimerRemaining() const;
+
+    /// @}
+
+    /** Total user-context cycles executed so far. */
+    Cycle userCycles() const;
+
+    struct Stats
+    {
+        explicit Stats(StatGroup *parent, NodeId id);
+        StatGroup group;
+        Scalar userCycles;
+        Scalar kernelCycles;
+        Scalar irqsTaken;
+        Scalar trapsTaken;
+        Scalar contextsSpawned;
+        Scalar preemptions;
+    };
+
+    Stats stats;
+
+  private:
+    friend struct Task::promise_type::FinalAwaiter;
+
+    /// @name Awaiter entry points (delegated from the awaiter structs)
+    /// @{
+    bool onSpendSuspend(Cycle n, std::coroutine_handle<> h);
+    void onBlockSuspend(std::coroutine_handle<> h);
+    void onYieldSuspend(std::coroutine_handle<> h, ContextPtr next,
+                        bool block_self);
+    ContextPtr onTrapSuspend(std::coroutine_handle<> h, unsigned vec,
+                             std::uint64_t arg);
+    /// @}
+
+    struct SpendState
+    {
+        bool active = false;
+        ContextPtr ctx;
+        Cycle start = 0;
+        Cycle end = 0;
+        std::weak_ptr<Event::Slot> endEv;
+    };
+
+    struct UserTimer
+    {
+        bool active = false;
+        Cycle deadline = 0; ///< in user-cycle time (see userCycles())
+        std::function<void()> cb;
+        std::weak_ptr<Event::Slot> ev; // scheduled firing, if any
+    };
+
+    /** Context finished (called from final_suspend). */
+    void onFinished(Context *ctx);
+
+    /** Begin/continue a spend for the current context. */
+    void beginSpend(Cycle n);
+    void onSpendComplete();
+
+    /** Freeze the current context mid/pre-spend (IRQ arrived). */
+    void preemptCurrent();
+
+    /** Central dispatch decision when the Cpu goes idle. */
+    void reschedule();
+
+    /** Highest-priority pending line, or -1. */
+    int pendingIrqLine() const;
+
+    /** Spawn and run the handler for @p line; returnTo = @p ret. */
+    void dispatchIrq(unsigned line, ContextPtr ret);
+
+    /** Resume a context as current (no pending-IRQ check). */
+    void resumeContext(const ContextPtr &ctx);
+
+    /** Schedule a coroutine handle to resume at now + delay. */
+    void scheduleResume(std::coroutine_handle<> h, Cycle delay,
+                        const char *why);
+
+    /** Account user/kernel cycles for a completed slice. */
+    void accountCycles(const ContextPtr &ctx, Cycle n);
+
+    /** Arm the timer firing event against the active spend. */
+    void armTimerForSpend();
+
+    EventQueue &eq_;
+    NodeId id_;
+
+    std::vector<IrqHandlerFactory> irqHandlers_;
+    std::vector<bool> irqPulse_;
+    std::vector<TrapHandlerFactory> trapHandlers_;
+    std::function<void()> idleHook_;
+
+    std::uint32_t pendingIrqs_ = 0;
+
+    ContextPtr current_;
+    ContextPtr pendingReturn_; // stashed returnTo of a finished ctx
+    ContextPtr retired_;       // finished ctx awaiting safe destruction
+    bool dispatchPending_ = false;
+
+    SpendState spend_;
+    UserTimer timer_;
+
+    Cycle userCycles_ = 0;
+};
+
+} // namespace fugu::exec
+
+#endif // FUGU_EXEC_CPU_HH

@@ -1,0 +1,158 @@
+#include "glaze/machine.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace fugu::glaze
+{
+
+Machine::Node::Node(Machine &m, NodeId id)
+    : cpu(m.eq, id, &m.root),
+      ni(cpu, m.net, id, m.cfg.ni, &m.root),
+      frames(m.cfg.framesPerNode, &m.root, id),
+      osnic(cpu, m.osnet, id),
+      kernel(m, id)
+{
+}
+
+MachineConfig
+Machine::fix(MachineConfig cfg)
+{
+    fugu_assert(cfg.nodes >= 1, "machine needs at least one node");
+    // Size both meshes to cover the node count: prefer a near-square
+    // user mesh and a linear OS network.
+    auto fit = [&](net::NetworkConfig &n) {
+        if (n.meshX * n.meshY >= cfg.nodes && n.meshX > 0 && n.meshY > 0)
+            return;
+        unsigned x = 1;
+        while (x * x < cfg.nodes)
+            ++x;
+        n.meshX = x;
+        n.meshY = (cfg.nodes + x - 1) / x;
+    };
+    fit(cfg.net);
+    fit(cfg.osNet);
+    return cfg;
+}
+
+Machine::Machine(MachineConfig cfg_in)
+    : cfg(fix(std::move(cfg_in))), root("machine"), rng(cfg.seed),
+      net(eq, cfg.net, "net_user", &root),
+      osnet(eq, cfg.osNet, "net_os", &root)
+{
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        nodes.push_back(std::make_unique<Node>(*this, n));
+    for (auto &node : nodes)
+        node->kernel.init();
+}
+
+Machine::~Machine() = default;
+
+namespace
+{
+
+exec::Task
+jobMain(Process *p, Job *job, AppBody body)
+{
+    co_await body(*p);
+    job->nodeDone(p->node());
+}
+
+} // namespace
+
+Job *
+Machine::addJob(std::string name, AppBody body)
+{
+    const Gid gid = nextGid_++;
+    auto job = std::make_unique<Job>(gid, std::move(name), cfg.nodes);
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        auto proc = std::make_unique<Process>(
+            nodes[n]->cpu, nodes[n]->ni, cfg.costs, nodes[n]->frames,
+            &root, n, gid, job.get());
+        nodes[n]->kernel.addProcess(proc.get());
+        for (unsigned f = 0; f < cfg.pinnedBufferPages; ++f) {
+            if (!nodes[n]->frames.tryAllocate())
+                warn("node ", n, ": could not pin buffer page ", f);
+        }
+        job->procs.push_back(proc.get());
+        proc->threads().spawn(job->name() + "-main", rt::kPrioNormal,
+                              jobMain(proc.get(), job.get(), body));
+        processes.push_back(std::move(proc));
+    }
+    jobs.push_back(std::move(job));
+    return jobs.back().get();
+}
+
+void
+Machine::installJob(Job *job)
+{
+    job->startCycle = now();
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        nodes[n]->kernel.installProcess(job->procs[n]);
+}
+
+void
+Machine::startGang(GangConfig gcfg)
+{
+    fugu_assert(!gangRunning_, "gang scheduler started twice");
+    fugu_assert(!jobs.empty(), "no jobs to schedule");
+    fugu_assert(gcfg.skew >= 0.0 && gcfg.skew <= 1.0, "bad skew");
+    gang_ = gcfg;
+    gangRunning_ = true;
+
+    gangOffset_.resize(cfg.nodes);
+    const Cycle window =
+        static_cast<Cycle>(gcfg.skew * static_cast<double>(gcfg.quantum));
+    for (NodeId n = 0; n < cfg.nodes; ++n)
+        gangOffset_[n] = window ? rng.uniform(0, window) : 0;
+
+    for (auto &j : jobs)
+        j->startCycle = now();
+
+    // Install the first job everywhere, then rotate each quantum.
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        nodes[n]->kernel.installProcess(jobs[0]->procs[n]);
+        scheduleBoundary(n, 1);
+    }
+}
+
+Process *
+Machine::pickGangTarget(NodeId node, std::uint64_t k)
+{
+    const std::size_t njobs = jobs.size();
+    for (std::size_t i = 0; i < njobs; ++i) {
+        Job *j = jobs[(k + i) % njobs].get();
+        Process *p = j->procs[node];
+        if (!p->suspended)
+            return p;
+    }
+    return nullptr; // every job suspended
+}
+
+void
+Machine::scheduleBoundary(NodeId node, std::uint64_t k)
+{
+    const Cycle when = k * gang_.quantum + gangOffset_[node];
+    eq.scheduleFn(
+        [this, node, k] {
+            nodes[node]->kernel.requestSwitch(pickGangTarget(node, k));
+            scheduleBoundary(node, k + 1);
+        },
+        when, "gang-boundary");
+}
+
+bool
+Machine::runUntilDone(const Job *job, Cycle max_cycles)
+{
+    const Cycle limit = now() + max_cycles;
+    while (!job->done()) {
+        if (now() > limit)
+            return false;
+        if (!eq.runOne())
+            return job->done();
+    }
+    return true;
+}
+
+} // namespace fugu::glaze

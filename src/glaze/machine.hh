@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Machine: a whole simulated FUGU multiprocessor.
+ *
+ * Owns the event queue, both networks, and per node the Cpu, NetIf,
+ * frame pool, second-network NIC and kernel; plus the jobs/processes
+ * and the loose gang scheduler with synchronized-but-skewable clocks
+ * used by the paper's experiments (Section 5).
+ */
+
+#ifndef FUGU_GLAZE_MACHINE_HH
+#define FUGU_GLAZE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/costs.hh"
+#include "core/netif.hh"
+#include "glaze/kernel.hh"
+#include "glaze/process.hh"
+#include "glaze/vm.hh"
+#include "net/network.hh"
+#include "sim/event.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace fugu::glaze
+{
+
+struct MachineConfig
+{
+    unsigned nodes = 8;
+
+    net::NetworkConfig net{};
+    net::NetworkConfig osNet{
+        /*meshX=*/0, /*meshY=*/0, // filled from nodes
+        /*latencyBase=*/50,
+        /*perHop=*/10,
+        /*perWord=*/8,
+        /*channelCapacityWords=*/256,
+    };
+
+    core::NetIfConfig ni{};
+    core::CostModel costs{};
+    core::AtomicityMode atomicity = core::AtomicityMode::Hard;
+
+    /** Physical page frames per node. */
+    unsigned framesPerNode = 64;
+
+    /**
+     * Ablation: deliver every message via the buffered path (the
+     * SUNMOS-style always-buffered organization of Section 2).
+     */
+    bool alwaysBuffered = false;
+
+    /**
+     * Ablation: model a system that pins its buffer pages — this many
+     * frames per process are taken at creation and never returned.
+     */
+    unsigned pinnedBufferPages = 0;
+
+    std::uint64_t seed = 1;
+};
+
+/** Gang-scheduler parameters (Section 5's experimental knobs). */
+struct GangConfig
+{
+    /** Scheduler timeslice (the paper uses 500,000 cycles). */
+    Cycle quantum = 500000;
+
+    /**
+     * Schedule quality knob: each node's quantum boundary is offset
+     * by a fixed random draw from [0, skew*quantum], modelling the
+     * paper's skewed cycle-count registers.
+     */
+    double skew = 0.0;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    struct Node
+    {
+        Node(Machine &m, NodeId id);
+
+        exec::Cpu cpu;
+        core::NetIf ni;
+        FramePool frames;
+        OsNic osnic;
+        Kernel kernel;
+    };
+
+    Cycle now() const { return eq.now(); }
+    unsigned nodeCount() const { return cfg.nodes; }
+    Node &node(NodeId id) { return *nodes[id]; }
+
+    /**
+     * Create a job: one Process per node, each with a main thread
+     * running @p body. The job does not run until installed
+     * (single-job) or the gang scheduler is started.
+     */
+    Job *addJob(std::string name, AppBody body);
+
+    /** Make @p job current on every node immediately (no gang). */
+    void installJob(Job *job);
+
+    /**
+     * Start gang-scheduling all jobs added so far, rotating each
+     * quantum. Installs the first job at the current cycle.
+     */
+    void startGang(GangConfig gcfg);
+
+    /**
+     * Run until @p job finishes.
+     * @return false on cycle-limit exhaustion (likely deadlock).
+     */
+    bool runUntilDone(const Job *job, Cycle max_cycles = 2000000000ull);
+
+    /** Run until the event queue drains or @p until passes. */
+    void run(Cycle until = kMaxCycle) { eq.run(until); }
+
+    MachineConfig cfg;
+    EventQueue eq;
+    StatGroup root;
+    Rng rng;
+    net::Network net;
+    net::Network osnet;
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<std::unique_ptr<Job>> jobs;
+    std::vector<std::unique_ptr<Process>> processes;
+
+  private:
+    static MachineConfig fix(MachineConfig cfg);
+
+    void scheduleBoundary(NodeId node, std::uint64_t k);
+    Process *pickGangTarget(NodeId node, std::uint64_t k);
+
+    GangConfig gang_;
+    bool gangRunning_ = false;
+    std::vector<Cycle> gangOffset_; // per node
+    Gid nextGid_ = 1;
+};
+
+} // namespace fugu::glaze
+
+#endif // FUGU_GLAZE_MACHINE_HH

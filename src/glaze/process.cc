@@ -1,0 +1,96 @@
+#include "glaze/process.hh"
+
+#include "glaze/kernel.hh"
+#include "sim/log.hh"
+
+namespace fugu::glaze
+{
+
+Process::Stats::Stats(StatGroup *parent, NodeId node, Gid gid)
+    : group("proc_n" + std::to_string(node) + "_g" + std::to_string(gid),
+            parent),
+      sent(&group, "sent", "messages injected"),
+      directDelivered(&group, "direct",
+                      "messages handled via the fast (direct) path"),
+      bufferedDelivered(&group, "buffered",
+                        "messages handled via the buffered path"),
+      handlerCycles(&group, "handler_cycles",
+                    "wall cycles per handler invocation"),
+      atomicSections(&group, "atomic_sections",
+                     "user atomic sections entered")
+{
+}
+
+Process::Process(exec::Cpu &cpu, core::NetIf &ni,
+                 const core::CostModel &costs, FramePool &frames,
+                 StatGroup *stat_parent, NodeId node, Gid gid, Job *job)
+    : stats(stat_parent, node, gid), cpu_(cpu), costs_(costs),
+      node_(node), gid_(gid), job_(job), port_(cpu, ni, costs),
+      threads_(cpu, costs), as_(frames),
+      vbuf_(frames, stat_parent, node, gid)
+{
+    port_.setObserver(this);
+}
+
+exec::CoTask<void>
+Process::touchPage(std::uint64_t page)
+{
+    if (as_.needsFault(page))
+        co_await cpu_.trap(core::kTrapPageFault, page);
+}
+
+void
+Process::onSend()
+{
+    ++stats.sent;
+}
+
+void
+Process::onDispatchStart(bool)
+{
+}
+
+void
+Process::onDispatchEnd(bool buffered, Cycle handler_cycles)
+{
+    if (buffered)
+        ++stats.bufferedDelivered;
+    else
+        ++stats.directDelivered;
+    stats.handlerCycles.sample(static_cast<double>(handler_cycles));
+}
+
+void
+Process::onBeginAtomic()
+{
+    ++stats.atomicSections;
+    // Section 4.2: buffered-message handling must be deferred across
+    // user atomic sections to preserve the atomicity illusion.
+    if (buffered)
+        atomicGate = true;
+}
+
+void
+Process::onEndAtomic()
+{
+    atomicGate = false;
+    // The kernel respawns the drain thread if buffered messages
+    // remain (Section 4.2: a new message-handling thread is created
+    // when the existing thread exits its atomic section).
+    if (kernel_)
+        kernel_->ensureDrain(this);
+}
+
+Job::Job(Gid gid, std::string name, unsigned nodes)
+    : gid_(gid), name_(std::move(name)), nodes_(nodes)
+{
+}
+
+void
+Job::nodeDone(NodeId)
+{
+    fugu_assert(doneNodes_ < nodes_, "nodeDone overflow");
+    ++doneNodes_;
+}
+
+} // namespace fugu::glaze

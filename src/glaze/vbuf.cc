@@ -1,0 +1,174 @@
+#include "glaze/vbuf.hh"
+
+#include "core/arch.hh"
+#include "sim/log.hh"
+
+namespace fugu::glaze
+{
+
+VirtualBuffer::Stats::Stats(StatGroup *parent, NodeId node, Gid gid)
+    : group("vbuf_n" + std::to_string(node) + "_g" + std::to_string(gid),
+            parent),
+      inserts(&group, "inserts", "messages inserted (buffered path)"),
+      drained(&group, "drained", "messages drained"),
+      peakPages(&group, "peak_pages", "max pages allocated at once"),
+      swapOuts(&group, "swap_outs", "pages swapped to backing store"),
+      pageIns(&group, "page_ins", "pages brought back in")
+{
+}
+
+VirtualBuffer::VirtualBuffer(FramePool &frames, StatGroup *parent,
+                             NodeId node, Gid gid)
+    : stats(parent, node, gid), frames_(frames)
+{
+}
+
+VirtualBuffer::~VirtualBuffer()
+{
+    for (const Page &p : pages_) {
+        if (!p.swapped)
+            frames_.release();
+    }
+}
+
+bool
+VirtualBuffer::needsNewPageFor(const net::Packet &pkt) const
+{
+    if (pages_.empty())
+        return true;
+    const Page &back = pages_.back();
+    return back.filled + footprint(pkt) > kPageWords;
+}
+
+bool
+VirtualBuffer::allocatePage()
+{
+    if (!frames_.tryAllocate())
+        return false;
+    pages_.push_back(Page{});
+    if (pages_.size() > stats.peakPages.value())
+        stats.peakPages.set(static_cast<double>(pages_.size()));
+    return true;
+}
+
+void
+VirtualBuffer::insert(net::Packet pkt)
+{
+    fugu_assert(!needsNewPageFor(pkt), "insert without page space");
+    pages_.back().filled += footprint(pkt);
+    msgPage_.push_back(
+        static_cast<unsigned>(basePage_ + pages_.size() - 1));
+    msgs_.push_back(std::move(pkt));
+    ++stats.inserts;
+}
+
+bool
+VirtualBuffer::available() const
+{
+    return !msgs_.empty();
+}
+
+unsigned
+VirtualBuffer::size() const
+{
+    fugu_assert(!msgs_.empty(), "size() on empty buffer");
+    return msgs_.front().size();
+}
+
+Word
+VirtualBuffer::read(unsigned offset) const
+{
+    fugu_assert(!msgs_.empty(), "read on empty buffer");
+    fugu_assert(!frontSwapped(), "read of a swapped-out buffer page");
+    const net::Packet &p = msgs_.front();
+    if (offset == 0)
+        return core::makeHeader(p.src, p.gid == kKernelGid);
+    if (offset == 1)
+        return p.handler;
+    fugu_assert(offset - 2 < p.payload.size(),
+                "buffer read past message end");
+    return p.payload[offset - 2];
+}
+
+void
+VirtualBuffer::pop()
+{
+    fugu_assert(!msgs_.empty(), "pop on empty buffer");
+    fugu_assert(!frontSwapped(), "pop of a swapped-out buffer page");
+    const unsigned fp = footprint(msgs_.front());
+    const unsigned abs_page = msgPage_.front();
+    fugu_assert(abs_page == basePage_, "drain out of page order");
+    msgs_.pop_front();
+    msgPage_.pop_front();
+    ++stats.drained;
+
+    Page &front = pages_.front();
+    front.consumed += fp;
+    fugu_assert(front.consumed <= front.filled);
+    // Free the page once everything on it has been drained. The last
+    // page is retired only when the buffer is fully empty (a partially
+    // filled tail keeps accepting inserts).
+    const bool page_done =
+        front.consumed == front.filled &&
+        (pages_.size() > 1 || msgs_.empty());
+    if (page_done) {
+        if (!front.swapped)
+            frames_.release();
+        pages_.pop_front();
+        ++basePage_;
+    }
+}
+
+bool
+VirtualBuffer::frontSwapped() const
+{
+    if (msgs_.empty())
+        return false;
+    return pages_.front().swapped;
+}
+
+bool
+VirtualBuffer::pageInFront()
+{
+    fugu_assert(frontSwapped(), "pageInFront with resident front");
+    if (!frames_.tryAllocate())
+        return false;
+    pages_.front().swapped = false;
+    ++stats.pageIns;
+    return true;
+}
+
+unsigned
+VirtualBuffer::swapOut(unsigned n)
+{
+    unsigned done = 0;
+    // Newest-first, never the front (draining) page.
+    for (std::size_t i = pages_.size(); i-- > 1 && done < n;) {
+        Page &p = pages_[i];
+        if (p.swapped)
+            continue;
+        p.swapped = true;
+        frames_.release();
+        ++stats.swapOuts;
+        ++done;
+    }
+    return done;
+}
+
+unsigned
+VirtualBuffer::pagesAllocated() const
+{
+    return static_cast<unsigned>(pages_.size());
+}
+
+unsigned
+VirtualBuffer::pagesResident() const
+{
+    unsigned n = 0;
+    for (const Page &p : pages_)
+        if (!p.swapped)
+            ++n;
+    return n;
+}
+
+} // namespace fugu::glaze

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * VirtualBuffer: the per-process software message buffer (Section
+ * 4.2, "Virtual Buffering Path").
+ *
+ * Messages diverted from the network interface are stored in the
+ * communicating application's virtual memory. Physical page frames
+ * back that memory on demand only; when the buffer drains, frames are
+ * returned, so an application that never buffers consumes no physical
+ * memory for buffering at all. Under memory pressure the overflow
+ * control system can swap buffer pages to backing store (over the
+ * second network) and page them back in as the drain reaches them.
+ *
+ * The buffer is the BufferedInput the UdmPort retargets its base
+ * pointer at in buffered mode, so reads are layout-compatible with
+ * the NI input window.
+ */
+
+#ifndef FUGU_GLAZE_VBUF_HH
+#define FUGU_GLAZE_VBUF_HH
+
+#include <deque>
+
+#include "core/udm.hh"
+#include "glaze/vm.hh"
+#include "net/packet.hh"
+#include "sim/stats.hh"
+
+namespace fugu::glaze
+{
+
+class VirtualBuffer : public core::BufferedInput
+{
+  public:
+    VirtualBuffer(FramePool &frames, StatGroup *parent, NodeId node,
+                  Gid gid);
+    ~VirtualBuffer() override;
+
+    VirtualBuffer(const VirtualBuffer &) = delete;
+    VirtualBuffer &operator=(const VirtualBuffer &) = delete;
+
+    /// @name Kernel insert path (mismatch-available handler)
+    /// @{
+
+    /** Would inserting @p pkt need a fresh page frame first? */
+    bool needsNewPageFor(const net::Packet &pkt) const;
+
+    /**
+     * Extend the buffer by one page.
+     * @return false if the frame pool is empty (the caller must run
+     *         overflow control / wait and retry).
+     */
+    bool allocatePage();
+
+    /** Append a message; needsNewPageFor must be false. */
+    void insert(net::Packet pkt);
+
+    /// @}
+    /// @name BufferedInput (the application's transparent view)
+    /// @{
+
+    bool available() const override;
+    unsigned size() const override;
+    Word read(unsigned offset) const override;
+
+    /// @}
+    /// @name Drain path (dispose-extend emulation)
+    /// @{
+
+    /** Remove the front message, freeing drained pages. */
+    void pop();
+
+    /** Is the front message on a swapped-out page? */
+    bool frontSwapped() const;
+
+    /**
+     * Bring the front page back in.
+     * @return false if no frame is free.
+     */
+    bool pageInFront();
+
+    /// @}
+    /// @name Overflow control
+    /// @{
+
+    /**
+     * Swap out up to @p n not-yet-draining pages (newest first),
+     * releasing their frames.
+     * @return pages actually swapped.
+     */
+    unsigned swapOut(unsigned n);
+
+    /// @}
+
+    bool empty() const { return msgs_.empty(); }
+    std::size_t messages() const { return msgs_.size(); }
+    unsigned pagesAllocated() const;
+    unsigned pagesResident() const;
+
+    struct Stats
+    {
+        Stats(StatGroup *parent, NodeId node, Gid gid);
+        StatGroup group;
+        Scalar inserts;
+        Scalar drained;
+        Scalar peakPages;
+        Scalar swapOuts;
+        Scalar pageIns;
+    };
+
+    Stats stats;
+
+  private:
+    /** Words a message occupies in the buffer (record header + msg). */
+    static unsigned
+    footprint(const net::Packet &pkt)
+    {
+        return pkt.size() + 2;
+    }
+
+    struct Page
+    {
+        unsigned filled = 0;   ///< words appended to this page
+        unsigned consumed = 0; ///< words drained from this page
+        bool swapped = false;  ///< frame released to backing store
+    };
+
+    struct Rec
+    {
+        net::Packet pkt;
+        unsigned pageIdx; ///< index counted from buffer creation
+    };
+
+    FramePool &frames_;
+    std::deque<net::Packet> msgs_;
+    std::deque<unsigned> msgPage_; ///< absolute page index per message
+    std::deque<Page> pages_;       ///< live pages, front = draining
+    std::uint64_t basePage_ = 0;   ///< absolute index of pages_.front()
+};
+
+} // namespace fugu::glaze
+
+#endif // FUGU_GLAZE_VBUF_HH

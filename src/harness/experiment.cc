@@ -1,0 +1,205 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace fugu::harness
+{
+
+using namespace fugu::apps;
+using namespace fugu::glaze;
+
+RunStats
+runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
+       bool gang, GangConfig gcfg, Cycle max_cycles)
+{
+    Machine m(mcfg);
+    Job *job =
+        m.addJob("app", app(mcfg.nodes, mcfg.seed));
+    if (with_null)
+        m.addJob("null", makeNullApp());
+    if (gang) {
+        m.startGang(gcfg);
+    } else {
+        fugu_assert(!with_null, "null app needs the gang scheduler");
+        m.installJob(job);
+    }
+
+    RunStats out;
+    out.completed = m.runUntilDone(job, max_cycles);
+    if (!out.completed)
+        return out;
+    out.runtime = m.now() - job->startCycle;
+    for (auto *proc : job->procs) {
+        out.sent += static_cast<std::uint64_t>(proc->stats.sent.value());
+        out.direct += proc->stats.directDelivered.value();
+        out.buffered += proc->stats.bufferedDelivered.value();
+        out.maxVbufPages =
+            std::max(out.maxVbufPages,
+                     static_cast<unsigned>(
+                         proc->vbuf().stats.peakPages.value()));
+    }
+    const double handled = out.direct + out.buffered;
+    out.bufferedPct = handled > 0 ? 100.0 * out.buffered / handled : 0;
+    out.tBetween =
+        out.sent
+            ? static_cast<double>(out.runtime) * mcfg.nodes / out.sent
+            : 0;
+    double hand_sum = 0;
+    std::uint64_t hand_n = 0;
+    for (auto *proc : job->procs) {
+        hand_sum += proc->stats.handlerCycles.sum();
+        hand_n += proc->stats.handlerCycles.count();
+    }
+    out.tHand = hand_n ? hand_sum / hand_n : 0;
+    for (auto &node : m.nodes) {
+        out.overflowEvents += node->kernel.stats.overflowEvents.value();
+        out.atomicityTimeouts += node->ni.stats.atomicityTimeouts.value();
+    }
+    return out;
+}
+
+RunStats
+runTrials(const MachineConfig &mcfg, const AppFactory &app,
+          bool with_null, bool gang, const GangConfig &gcfg,
+          unsigned trials, Cycle max_cycles)
+{
+    fugu_assert(trials >= 1);
+    RunStats acc;
+    acc.completed = true;
+    for (unsigned t = 0; t < trials; ++t) {
+        MachineConfig cfg = mcfg;
+        cfg.seed = mcfg.seed + 1000003ull * t;
+        RunStats r = runJob(cfg, app, with_null, gang, gcfg, max_cycles);
+        if (!r.completed) {
+            acc.completed = false;
+            return acc;
+        }
+        acc.runtime += r.runtime;
+        acc.sent += r.sent;
+        acc.direct += r.direct;
+        acc.buffered += r.buffered;
+        acc.bufferedPct += r.bufferedPct;
+        acc.tBetween += r.tBetween;
+        acc.tHand += r.tHand;
+        acc.maxVbufPages = std::max(acc.maxVbufPages, r.maxVbufPages);
+        acc.overflowEvents += r.overflowEvents;
+        acc.atomicityTimeouts += r.atomicityTimeouts;
+    }
+    acc.runtime /= trials;
+    acc.sent /= trials;
+    acc.direct /= trials;
+    acc.buffered /= trials;
+    acc.bufferedPct /= trials;
+    acc.tBetween /= trials;
+    acc.tHand /= trials;
+    acc.overflowEvents /= trials;
+    acc.atomicityTimeouts /= trials;
+    return acc;
+}
+
+const std::vector<std::string> &
+Workloads::names()
+{
+    static const std::vector<std::string> kNames{
+        "barnes", "water", "lu", "barrier", "enum"};
+    return kNames;
+}
+
+AppFactory
+Workloads::factory(const std::string &name) const
+{
+    const bool paper = paperScale;
+    if (name == "barnes") {
+        return [paper](unsigned n, std::uint64_t seed) {
+            BarnesAppConfig cfg;
+            cfg.bodies = paper ? 2048 : 256;
+            cfg.iterations = 3;
+            cfg.seed = seed;
+            return makeBarnesApp(n, cfg);
+        };
+    }
+    if (name == "water") {
+        return [paper](unsigned n, std::uint64_t seed) {
+            WaterAppConfig cfg;
+            cfg.molecules = paper ? 512 : 128;
+            cfg.iterations = 3;
+            cfg.seed = seed;
+            return makeWaterApp(n, cfg);
+        };
+    }
+    if (name == "lu") {
+        return [paper](unsigned n, std::uint64_t seed) {
+            LuAppConfig cfg;
+            cfg.n = paper ? 250 : 128;
+            cfg.blockSize = paper ? 25 : 16;
+            cfg.seed = seed;
+            return makeLuApp(n, cfg);
+        };
+    }
+    if (name == "barrier") {
+        return [paper](unsigned n, std::uint64_t seed) {
+            BarrierAppConfig cfg;
+            cfg.barriers = paper ? 10000 : 1500;
+            cfg.seed = seed;
+            return makeBarrierApp(n, cfg);
+        };
+    }
+    if (name == "enum") {
+        return [paper](unsigned n, std::uint64_t seed) {
+            EnumAppConfig cfg;
+            cfg.side = paper ? 6 : 5;
+            // The full 6-a-side puzzle is enormous; the paper's run is
+            // bounded too (610k messages). Cap per-node expansion so
+            // the workload stays fine-grain but finite.
+            cfg.maxStatesPerNode = paper ? 80000 : 0;
+            cfg.seed = seed;
+            return makeEnumApp(n, cfg, nullptr);
+        };
+    }
+    fugu_fatal("unknown workload '", name, "'");
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths))
+{
+    fugu_assert(headers_.size() == widths_.size());
+}
+
+void
+TablePrinter::printHeader() const
+{
+    printRow(headers_);
+    std::string rule;
+    for (int w : widths_)
+        rule += std::string(static_cast<std::size_t>(w), '-') + "  ";
+    std::cout << rule << "\n";
+}
+
+void
+TablePrinter::printRow(const std::vector<std::string> &cells) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::string c = cells[i];
+        const int w = i < widths_.size() ? widths_[i] : 12;
+        if (static_cast<int>(c.size()) < w)
+            c += std::string(w - c.size(), ' ');
+        os << c << "  ";
+    }
+    std::cout << os.str() << "\n";
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace fugu::harness

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment harness shared by the bench/ binaries: builds machines,
+ * runs jobs standalone or multiprogrammed against a null application
+ * with a skewed gang schedule, runs trials, and aggregates the
+ * statistics the paper's tables and figures report.
+ */
+
+#ifndef FUGU_HARNESS_EXPERIMENT_HH
+#define FUGU_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "glaze/machine.hh"
+
+namespace fugu::harness
+{
+
+/** Builds the application body for a machine of @p nnodes nodes. */
+using AppFactory =
+    std::function<glaze::AppBody(unsigned nnodes, std::uint64_t seed)>;
+
+/** Aggregate statistics of one run (the measured job only). */
+struct RunStats
+{
+    Cycle runtime = 0;          ///< job start to completion
+    std::uint64_t sent = 0;     ///< messages injected by the job
+    double direct = 0;          ///< handled via the fast path
+    double buffered = 0;        ///< handled via the buffered path
+    double bufferedPct = 0;     ///< 100*buffered/(direct+buffered)
+    double tBetween = 0;        ///< cycles*nodes/messages (Table 6)
+    double tHand = 0;           ///< mean handler occupancy (Table 6)
+    unsigned maxVbufPages = 0;  ///< peak buffer pages on any node
+    double overflowEvents = 0;  ///< overflow-control activations
+    double atomicityTimeouts = 0;
+    bool completed = false;
+};
+
+/** One run of @p app, optionally gang-scheduled against "null". */
+RunStats runJob(glaze::MachineConfig mcfg, const AppFactory &app,
+                bool with_null, bool gang, glaze::GangConfig gcfg,
+                Cycle max_cycles = 100000000000ull);
+
+/** Average of @p trials runs differing only in seed. */
+RunStats runTrials(const glaze::MachineConfig &mcfg,
+                   const AppFactory &app, bool with_null, bool gang,
+                   const glaze::GangConfig &gcfg, unsigned trials,
+                   Cycle max_cycles = 100000000000ull);
+
+/**
+ * The named workload set used by the Table 6 / Figure 7-8
+ * experiments. Default sizes are scaled down so every bench finishes
+ * in seconds; set paperScale for the paper's parameters (Table 6).
+ */
+struct Workloads
+{
+    bool paperScale = false;
+
+    /** Names in the paper's order. */
+    static const std::vector<std::string> &names();
+
+    AppFactory factory(const std::string &name) const;
+};
+
+/** Simple fixed-width table printer for paper-style output. */
+class TablePrinter
+{
+  public:
+    TablePrinter(std::vector<std::string> headers,
+                 std::vector<int> widths);
+
+    void printHeader() const;
+    void printRow(const std::vector<std::string> &cells) const;
+
+    static std::string num(double v, int precision = 0);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<int> widths_;
+};
+
+} // namespace fugu::harness
+
+#endif // FUGU_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,148 @@
+#include "net/network.hh"
+
+#include "sim/log.hh"
+
+namespace fugu::net
+{
+
+Network::Stats::Stats(StatGroup *parent, const std::string &name)
+    : group(name, parent),
+      messages(&group, "messages", "messages delivered"),
+      words(&group, "words", "words delivered"),
+      deliveryLatency(&group, "latency",
+                      "inject-to-sink-accept latency (cycles)"),
+      headOfLineBlocks(&group, "hol_blocks",
+                       "arrivals stalled by a full input queue")
+{
+}
+
+Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
+                 StatGroup *stat_parent)
+    : stats(stat_parent, name), eq_(eq), cfg_(cfg),
+      name_(std::move(name))
+{
+    fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
+    fugu_assert(cfg_.channelCapacityWords >= kMaxMessageWords,
+                "channel must hold at least one max-size message");
+}
+
+void
+Network::attach(NodeId id, NetSink *sink)
+{
+    fugu_assert(id < cfg_.meshX * cfg_.meshY, "node ", id,
+                " outside the ", cfg_.meshX, "x", cfg_.meshY, " mesh");
+    if (sinks_.size() <= id) {
+        sinks_.resize(id + 1, nullptr);
+        arrived_.resize(id + 1);
+    }
+    fugu_assert(!sinks_[id], "node ", id, " attached twice");
+    sinks_[id] = sink;
+}
+
+unsigned
+Network::hops(NodeId a, NodeId b) const
+{
+    const unsigned ax = a % cfg_.meshX, ay = a / cfg_.meshX;
+    const unsigned bx = b % cfg_.meshX, by = b / cfg_.meshX;
+    const unsigned dx = ax > bx ? ax - bx : bx - ax;
+    const unsigned dy = ay > by ? ay - by : by - ay;
+    return dx + dy;
+}
+
+Cycle
+Network::latency(NodeId src, NodeId dst, unsigned words) const
+{
+    return cfg_.latencyBase + cfg_.perHop * hops(src, dst) +
+           cfg_.perWord * words;
+}
+
+bool
+Network::canAccept(NodeId src, NodeId dst, unsigned words) const
+{
+    auto it = channels_.find(key(src, dst));
+    unsigned in_flight = it == channels_.end() ? 0 : it->second.wordsInFlight;
+    return in_flight + words <= cfg_.channelCapacityWords;
+}
+
+void
+Network::send(Packet pkt)
+{
+    const unsigned words = pkt.size();
+    fugu_assert(words <= kMaxMessageWords, "oversized message (", words,
+                " words)");
+    fugu_assert(pkt.dst < sinks_.size() && sinks_[pkt.dst],
+                "send to unattached node ", pkt.dst);
+    fugu_assert(canAccept(pkt.src, pkt.dst, words),
+                "send without canAccept");
+
+    Channel &ch = channels_[key(pkt.src, pkt.dst)];
+    ch.wordsInFlight += words;
+
+    Cycle ready = eq_.now() + latency(pkt.src, pkt.dst, words);
+    // Per-channel FIFO with serialization: a message cannot arrive
+    // before an earlier one on the same channel has been received.
+    ready = std::max(ready, ch.lastArrival + cfg_.perWord * words);
+    ch.lastArrival = ready;
+
+    pkt.injectedAt = eq_.now();
+    pkt.seq = nextSeq_++;
+    NodeId dst = pkt.dst;
+    eq_.scheduleFn(
+        [this, dst, p = std::move(pkt)]() mutable {
+            arrived_[dst].push_back(std::move(p));
+            drain(dst);
+        },
+        ready, name_ + "-arrive");
+}
+
+void
+Network::drain(NodeId dst)
+{
+    auto &q = arrived_[dst];
+    while (!q.empty()) {
+        Packet &head = q.front();
+        const unsigned words = head.size();
+        const NodeId src = head.src;
+        const Cycle injected = head.injectedAt;
+        if (!sinks_[dst]->tryDeliver(std::move(head))) {
+            ++stats.headOfLineBlocks;
+            return; // retried via onSinkSpaceFreed
+        }
+        q.pop_front();
+        ++stats.messages;
+        stats.words += words;
+        stats.deliveryLatency.sample(
+            static_cast<double>(eq_.now() - injected));
+        auto it = channels_.find(key(src, dst));
+        fugu_assert(it != channels_.end());
+        releaseChannel(it->second, words);
+    }
+}
+
+void
+Network::onSinkSpaceFreed(NodeId dst)
+{
+    fugu_assert(dst < arrived_.size());
+    drain(dst);
+}
+
+void
+Network::releaseChannel(Channel &ch, unsigned words)
+{
+    fugu_assert(ch.wordsInFlight >= words);
+    ch.wordsInFlight -= words;
+    if (!ch.spaceWaiters.empty()) {
+        auto waiters = std::move(ch.spaceWaiters);
+        ch.spaceWaiters.clear();
+        for (auto &cb : waiters)
+            cb();
+    }
+}
+
+void
+Network::subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb)
+{
+    channels_[key(src, dst)].spaceWaiters.push_back(std::move(cb));
+}
+
+} // namespace fugu::net

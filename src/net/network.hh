@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Message-level interconnect model.
+ *
+ * The fabric preserves the properties the paper's mechanisms rely on,
+ * without modelling wormhole routing:
+ *
+ *  - pairwise FIFO: messages between a given (src,dst) pair are
+ *    delivered in injection order (as on the Alewife mesh);
+ *  - finite buffering and back-pressure: each (src,dst) channel holds
+ *    a bounded number of words in flight, and a full receive queue at
+ *    the destination blocks the channel head, eventually blocking the
+ *    sender's inject (this is what the atomicity timeout polices);
+ *  - latency: base + per-hop (2D mesh dimension-ordered distance) +
+ *    per-word serialization.
+ *
+ * A machine instantiates the class twice: the main user network and
+ * the reserved, slower second network the operating system uses as a
+ * guaranteed deadlock-free path (Section 4.2).
+ */
+
+#ifndef FUGU_NET_NETWORK_HH
+#define FUGU_NET_NETWORK_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fugu::net
+{
+
+/** Receiving side attached to each node (the NI input queue). */
+class NetSink
+{
+  public:
+    virtual ~NetSink() = default;
+
+    /**
+     * Offer an arrived packet to the node.
+     * @return false if the input queue is full; the network will
+     *         retry when onSinkSpaceFreed is called.
+     */
+    virtual bool tryDeliver(Packet &&pkt) = 0;
+};
+
+struct NetworkConfig
+{
+    /** Mesh dimensions; meshX*meshY must cover all attached nodes. */
+    unsigned meshX = 4;
+    unsigned meshY = 4;
+
+    /** Fixed overhead per message. */
+    Cycle latencyBase = 5;
+
+    /** Router/wire latency per mesh hop. */
+    Cycle perHop = 2;
+
+    /** Serialization cost per word. */
+    Cycle perWord = 1;
+
+    /** Max words in flight per (src,dst) channel (back-pressure). */
+    unsigned channelCapacityWords = 64;
+};
+
+class Network
+{
+  public:
+    Network(EventQueue &eq, NetworkConfig cfg, std::string name,
+            StatGroup *stat_parent);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    const NetworkConfig &config() const { return cfg_; }
+
+    /** Attach the receive sink for node @p id. */
+    void attach(NodeId id, NetSink *sink);
+
+    /** Can a @p words -word message be injected right now? */
+    bool canAccept(NodeId src, NodeId dst, unsigned words) const;
+
+    /**
+     * Inject a packet. The caller must have checked canAccept; the
+     * send side of the NI blocks stores to the output buffer
+     * otherwise.
+     */
+    void send(Packet pkt);
+
+    /**
+     * Called by a sink after it dequeued a message, making room for
+     * a blocked arrival.
+     */
+    void onSinkSpaceFreed(NodeId dst);
+
+    /**
+     * One-shot notification when channel (src,dst) has room again.
+     * Used by the NI to wake a blocked injector.
+     */
+    void subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb);
+
+    /** Dimension-ordered mesh hop count between two nodes. */
+    unsigned hops(NodeId a, NodeId b) const;
+
+    /** End-to-end delivery latency for a message of @p words words. */
+    Cycle latency(NodeId src, NodeId dst, unsigned words) const;
+
+    struct Stats
+    {
+        Stats(StatGroup *parent, const std::string &name);
+        StatGroup group;
+        Scalar messages;
+        Scalar words;
+        Distribution deliveryLatency;
+        Scalar headOfLineBlocks;
+    };
+
+    Stats stats;
+
+  private:
+    using ChannelKey = std::uint32_t;
+
+    static ChannelKey
+    key(NodeId src, NodeId dst)
+    {
+        return (static_cast<ChannelKey>(src) << 16) | dst;
+    }
+
+    struct Channel
+    {
+        unsigned wordsInFlight = 0;
+        Cycle lastArrival = 0;
+        std::vector<std::function<void()>> spaceWaiters;
+    };
+
+    void drain(NodeId dst);
+    void releaseChannel(Channel &ch, unsigned words);
+
+    EventQueue &eq_;
+    NetworkConfig cfg_;
+    std::string name_;
+    std::map<ChannelKey, Channel> channels_;
+    std::vector<NetSink *> sinks_;
+
+    /** Per-destination queues of packets that finished traversal. */
+    std::vector<std::deque<Packet>> arrived_;
+
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace fugu::net
+
+#endif // FUGU_NET_NETWORK_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Packet: the unit of communication on the interconnect.
+ *
+ * A UDM message is a variable-length sequence of words; the first word
+ * is the routing header (destination), the second an optional handler
+ * address, the rest payload (Section 3 of the paper). Fast-path
+ * messages are limited to 16 words as in FUGU; larger transfers are
+ * chunked by higher layers (the paper's DMA bulk path is out of
+ * scope, as it is in the paper).
+ */
+
+#ifndef FUGU_NET_PACKET_HH
+#define FUGU_NET_PACKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fugu::net
+{
+
+/** Hardware limit on a fast-path message, in words (incl. header). */
+inline constexpr unsigned kMaxMessageWords = 16;
+
+/** Payload words available after the routing header + handler word. */
+inline constexpr unsigned kMaxPayloadWords = kMaxMessageWords - 2;
+
+struct Packet
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+
+    /** GID stamped by the sending NI, checked by the receiving NI. */
+    Gid gid = 0;
+
+    /** Handler address (index into the receiver's handler table). */
+    Word handler = 0;
+
+    /** Data payload, at most kMaxPayloadWords words. */
+    std::vector<Word> payload;
+
+    /** Cycle the message was launched (for latency stats). */
+    Cycle injectedAt = 0;
+
+    /** Global injection sequence number (debug / ordering checks). */
+    std::uint64_t seq = 0;
+
+    /** Total size in words: header + handler + payload. */
+    unsigned size() const
+    {
+        return 2 + static_cast<unsigned>(payload.size());
+    }
+};
+
+} // namespace fugu::net
+
+#endif // FUGU_NET_PACKET_HH

@@ -1,0 +1,122 @@
+#include "sim/event.hh"
+
+#include "sim/log.hh"
+
+namespace fugu
+{
+
+Event::~Event()
+{
+    if (queue_ && slot_)
+        queue_->deschedule(this);
+}
+
+void
+EventQueue::push(Event *ev, Cycle when, bool owned)
+{
+    fugu_assert(when >= now_, "event '", ev->name(),
+                "' scheduled in the past (", when, " < ", now_, ")");
+    ev->when_ = when;
+    ev->slot_ = std::make_shared<Event::Slot>();
+    ev->slot_->event = ev;
+    ev->queue_ = this;
+    heap_.push(HeapEntry{when, nextSeq_++, ev->slot_, owned});
+    ++live_;
+}
+
+void
+EventQueue::schedule(Event *ev, Cycle when)
+{
+    fugu_assert(!ev->scheduled(), "event '", ev->name(),
+                "' scheduled twice");
+    push(ev, when, false);
+}
+
+void
+EventQueue::reschedule(Event *ev, Cycle when)
+{
+    if (ev->scheduled())
+        deschedule(ev);
+    push(ev, when, false);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->slot_)
+        return;
+    ev->slot_->event = nullptr;
+    ev->slot_.reset();
+    fugu_assert(live_ > 0);
+    --live_;
+}
+
+std::weak_ptr<Event::Slot>
+EventQueue::scheduleFn(std::function<void()> fn, Cycle when,
+                       std::string name)
+{
+    auto *ev = new LambdaEvent(std::move(name), std::move(fn));
+    push(ev, when, true);
+    return ev->slot_;
+}
+
+void
+EventQueue::cancelFn(const std::weak_ptr<Event::Slot> &handle)
+{
+    auto slot = handle.lock();
+    if (!slot || !slot->event)
+        return;
+    Event *ev = slot->event;
+    deschedule(ev);
+    delete ev; // owned LambdaEvent
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        HeapEntry entry = heap_.top();
+        heap_.pop();
+        Event *ev = entry.slot->event;
+        if (!ev)
+            continue; // cancelled
+        fugu_assert(entry.when >= now_);
+        now_ = entry.when;
+        // Mark unscheduled before processing so process() may
+        // reschedule the same event.
+        ev->slot_->event = nullptr;
+        ev->slot_.reset();
+        --live_;
+        ev->process();
+        if (entry.owned)
+            delete ev;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Cycle until, std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && !heap_.empty()) {
+        // Peek past cancelled entries to find the next live event.
+        while (!heap_.empty() && !heap_.top().slot->event)
+            heap_.pop();
+        if (heap_.empty() || heap_.top().when > until)
+            break;
+        runOne();
+        ++n;
+    }
+    if (now_ < until && until != kMaxCycle)
+        now_ = until;
+    return n;
+}
+
+bool
+EventQueue::empty() const
+{
+    return live_ == 0;
+}
+
+} // namespace fugu

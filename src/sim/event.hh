@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: Event and EventQueue.
+ *
+ * The queue is a min-heap ordered by (cycle, insertion sequence), so
+ * events at the same cycle fire in schedule order, which makes runs
+ * fully deterministic. Cancellation is supported through per-schedule
+ * "slots": descheduling invalidates the slot, and stale heap entries
+ * are skipped when popped. An Event may be destroyed while scheduled;
+ * its destructor deschedules it safely.
+ */
+
+#ifndef FUGU_SIM_EVENT_HH
+#define FUGU_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fugu
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a future cycle. Subclass and implement
+ * process(), or use EventQueue::scheduleFn for one-shot lambdas.
+ */
+class Event
+{
+  public:
+    /**
+     * Cancellation slot for a scheduled occurrence. Holders keep a
+     * weak_ptr (an EventHandle) so stale handles are harmless.
+     */
+    struct Slot
+    {
+        Event *event = nullptr; // null once descheduled
+    };
+
+    explicit Event(std::string name) : name_(std::move(name)) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the scheduled cycle is reached. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return name_; }
+    bool scheduled() const { return slot_ != nullptr; }
+
+    /** Cycle this event will fire at. Only valid while scheduled. */
+    Cycle when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    Cycle when_ = 0;
+    std::shared_ptr<Slot> slot_; // non-null while scheduled
+    EventQueue *queue_ = nullptr;
+};
+
+/** Handle to a scheduleFn occurrence; pass to EventQueue::cancelFn. */
+using EventHandle = std::weak_ptr<Event::Slot>;
+
+/** Convenience event wrapping a callable; used by scheduleFn. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::string name, std::function<void()> fn)
+        : Event(std::move(name)), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * The global ordered queue of pending events plus the current cycle.
+ * One EventQueue drives an entire simulated machine.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /**
+     * Schedule @p ev to fire at cycle @p when (>= now). The event must
+     * not already be scheduled; use reschedule for that.
+     */
+    void schedule(Event *ev, Cycle when);
+
+    /** Move an already (or not) scheduled event to a new cycle. */
+    void reschedule(Event *ev, Cycle when);
+
+    /** Cancel a pending event. No-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /**
+     * Schedule a one-shot callable. The underlying event is owned by
+     * the queue and destroyed after firing.
+     * @return handle that can be passed to cancelFn.
+     */
+    std::weak_ptr<Event::Slot> scheduleFn(std::function<void()> fn,
+                                          Cycle when,
+                                          std::string name = "lambda");
+
+    /** Cancel a scheduleFn event via its handle. No-op if fired. */
+    void cancelFn(const std::weak_ptr<Event::Slot> &handle);
+
+    /**
+     * Execute the next pending event, advancing the clock.
+     * @return false if the queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue empties, @p until is passed, or
+     * @p max_events have been processed.
+     * @return number of events processed.
+     */
+    std::uint64_t run(Cycle until = kMaxCycle,
+                      std::uint64_t max_events = ~std::uint64_t(0));
+
+    bool empty() const;
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pending() const { return live_; }
+
+  private:
+    struct HeapEntry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::shared_ptr<Event::Slot> slot;
+        bool owned; // queue owns the Event (scheduleFn)
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void push(Event *ev, Cycle when, bool owned);
+
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t live_ = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap_;
+};
+
+} // namespace fugu
+
+#endif // FUGU_SIM_EVENT_HH

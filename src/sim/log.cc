@@ -1,0 +1,61 @@
+#include "sim/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace fugu
+{
+namespace detail
+{
+
+namespace
+{
+bool throwOnError_ = false;
+} // namespace
+
+void
+setThrowOnError(bool enable)
+{
+    throwOnError_ = enable;
+}
+
+bool
+throwOnError()
+{
+    return throwOnError_;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("panic: ", msg, " @ ", file, ":", line);
+    if (throwOnError_)
+        throw SimError{full};
+    std::cerr << full << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("fatal: ", msg, " @ ", file, ":", line);
+    if (throwOnError_)
+        throw SimError{full};
+    std::cerr << full << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace fugu

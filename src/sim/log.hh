@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status/error reporting, following the gem5 convention:
+ *
+ *  - panic(): something happened that must never happen regardless of
+ *    what the user does, i.e. a simulator bug. Aborts.
+ *  - fatal(): the simulation cannot continue due to a user error (bad
+ *    configuration, invalid arguments). Exits with an error code.
+ *  - warn()/inform(): advisory messages; never stop the simulation.
+ */
+
+#ifndef FUGU_SIM_LOG_HH
+#define FUGU_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace fugu
+{
+
+namespace detail
+{
+
+/** Concatenate a list of stream-printable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Test hook: when set, panic/fatal throw instead of aborting. */
+void setThrowOnError(bool enable);
+bool throwOnError();
+
+} // namespace detail
+
+/** Exception thrown by panic/fatal when the test hook is enabled. */
+struct SimError
+{
+    std::string message;
+};
+
+#define fugu_panic(...)                                                     \
+    ::fugu::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::fugu::detail::concat(__VA_ARGS__))
+
+#define fugu_fatal(...)                                                     \
+    ::fugu::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::fugu::detail::concat(__VA_ARGS__))
+
+#define fugu_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::fugu::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                         \
+                ::fugu::detail::concat("assertion failed: " #cond " ",     \
+                                       ##__VA_ARGS__));                     \
+        }                                                                   \
+    } while (0)
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace fugu
+
+#endif // FUGU_SIM_LOG_HH

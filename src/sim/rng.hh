@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every source of randomness in the simulator draws from an explicitly
+ * seeded Rng so that runs are reproducible bit-for-bit; nothing ever
+ * consults wall-clock time or global generators.
+ */
+
+#ifndef FUGU_SIM_RNG_HH
+#define FUGU_SIM_RNG_HH
+
+#include <cstdint>
+
+#include "sim/log.hh"
+
+namespace fugu
+{
+
+/** Small, fast, seedable PRNG (xoshiro256** seeded via splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::uint64_t
+    uniform(std::uint64_t lo, std::uint64_t hi)
+    {
+        fugu_assert(lo <= hi, "bad uniform range");
+        const std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next();
+        // Debiased via rejection sampling.
+        const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % span) - 1;
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (v > limit);
+        return lo + v % span;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Derive an independent child generator (for per-node streams). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0x9e3779b97f4a7c15ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace fugu
+
+#endif // FUGU_SIM_RNG_HH

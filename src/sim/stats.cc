@@ -1,0 +1,77 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/log.hh"
+
+namespace fugu
+{
+
+Stat::Stat(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    fugu_assert(parent, "stat '", name_, "' needs a parent group");
+    parent->registerStat(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value() << " # " << desc() << "\n";
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    os << prefix << name() << "::min " << minValue() << "\n";
+    os << prefix << name() << "::max " << maxValue() << "\n";
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->unregisterChild(this);
+}
+
+void
+StatGroup::unregisterChild(StatGroup *g)
+{
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+        if (*it == g) {
+            children_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+StatGroup::print(std::ostream &os, const std::string &prefix) const
+{
+    const std::string here =
+        prefix.empty() ? name_ + "." : prefix + name_ + ".";
+    for (const Stat *s : stats_)
+        s->print(os, here);
+    for (const StatGroup *g : children_)
+        g->print(os, here);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetAll();
+}
+
+} // namespace fugu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef FUGU_SIM_TYPES_HH
+#define FUGU_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fugu
+{
+
+/** Simulation time, in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** A machine word. FUGU/Alewife (Sparcle) words are 32 bits. */
+using Word = std::uint32_t;
+
+/** Index of a node (processor) within the machine. */
+using NodeId = std::uint16_t;
+
+/**
+ * Group identifier. A GID labels a group of processes (virtual
+ * processors) operating together: the hardware stamps it on every
+ * outgoing message and checks it at the receiver.
+ */
+using Gid = std::uint16_t;
+
+/** GID reserved for the operating system itself. */
+inline constexpr Gid kKernelGid = 0;
+
+/** Sentinel for "no cycle" / "infinitely far in the future". */
+inline constexpr Cycle kMaxCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid node. */
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+} // namespace fugu
+
+#endif // FUGU_SIM_TYPES_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Workload tests: algorithmic correctness (enum vs a sequential
+ * reference, LU residual), completion, message accounting, and
+ * correctness under adverse multiprogrammed scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+#include "apps/triangle.hh"
+#include "apps/workloads.hh"
+#include "glaze/machine.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+using namespace fugu::apps;
+
+namespace
+{
+
+struct AppsTest : ::testing::Test
+{
+    AppsTest() { detail::setThrowOnError(true); }
+    ~AppsTest() override { detail::setThrowOnError(false); }
+};
+
+/** Host-side sequential reference for the triangle puzzle. */
+void
+sequentialEnum(unsigned side, std::uint64_t *states,
+               std::uint64_t *solutions)
+{
+    TriangleBoard board(side);
+    std::unordered_set<Word> visited;
+    std::deque<Word> work{board.initialState()};
+    std::uint64_t sols = 0;
+    while (!work.empty()) {
+        const Word s = work.front();
+        work.pop_front();
+        if (!visited.insert(s).second)
+            continue;
+        if (std::popcount(s) == 1)
+            ++sols;
+        for (const auto &mv : board.moves()) {
+            if (board.legal(s, mv)) {
+                const Word child = board.apply(s, mv);
+                if (!visited.count(child))
+                    work.push_back(child);
+            }
+        }
+    }
+    *states = visited.size();
+    *solutions = sols;
+}
+
+TEST_F(AppsTest, EnumMatchesSequentialReference)
+{
+    std::uint64_t ref_states = 0, ref_solutions = 0;
+    sequentialEnum(4, &ref_states, &ref_solutions);
+    ASSERT_GT(ref_states, 10u);
+
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    EnumAppConfig ecfg;
+    ecfg.side = 4;
+    EnumResult result;
+    Job *job = m.addJob("enum", makeEnumApp(4, ecfg, &result));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 1000000000ull));
+    EXPECT_EQ(result.statesVisited, ref_states);
+    EXPECT_EQ(result.solutions, ref_solutions);
+}
+
+TEST_F(AppsTest, EnumSide5MatchesReference)
+{
+    std::uint64_t ref_states = 0, ref_solutions = 0;
+    sequentialEnum(5, &ref_states, &ref_solutions);
+
+    MachineConfig cfg;
+    cfg.nodes = 8;
+    Machine m(cfg);
+    EnumAppConfig ecfg;
+    ecfg.side = 5;
+    EnumResult result;
+    Job *job = m.addJob("enum", makeEnumApp(8, ecfg, &result));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 4000000000ull));
+    EXPECT_EQ(result.statesVisited, ref_states);
+    EXPECT_EQ(result.solutions, ref_solutions);
+}
+
+TEST_F(AppsTest, LuFactorizationIsCorrect)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    LuAppConfig lcfg;
+    lcfg.n = 64;
+    lcfg.blockSize = 8;
+    LuResult result;
+    result.maxResidual = 1e9;
+    Job *job = m.addJob("lu", makeLuApp(4, lcfg, &result));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 2000000000ull));
+    EXPECT_LT(result.maxResidual, 1e-6);
+}
+
+TEST_F(AppsTest, LuCorrectUnderSkewedMultiprogramming)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 21;
+    Machine m(cfg);
+    LuAppConfig lcfg;
+    lcfg.n = 48;
+    lcfg.blockSize = 8;
+    LuResult result;
+    result.maxResidual = 1e9;
+    Job *job = m.addJob("lu", makeLuApp(4, lcfg, &result));
+    m.addJob("null", makeNullApp());
+    GangConfig g;
+    g.quantum = 30000;
+    g.skew = 0.3;
+    m.startGang(g);
+    ASSERT_TRUE(m.runUntilDone(job, 4000000000ull));
+    EXPECT_LT(result.maxResidual, 1e-6);
+    double buffered = 0;
+    for (auto *proc : job->procs)
+        buffered += proc->stats.bufferedDelivered.value();
+    EXPECT_GE(buffered, 1.0);
+}
+
+TEST_F(AppsTest, BarrierAppMessageCountMatchesDissemination)
+{
+    MachineConfig cfg;
+    cfg.nodes = 8;
+    Machine m(cfg);
+    BarrierAppConfig bcfg;
+    bcfg.barriers = 100;
+    Job *job = m.addJob("barrier", makeBarrierApp(8, bcfg));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 1000000000ull));
+    // Dissemination barrier: n * ceil(log2 n) messages per episode.
+    double sent = 0;
+    for (auto *proc : job->procs)
+        sent += proc->stats.sent.value();
+    EXPECT_DOUBLE_EQ(sent, 100.0 * 8 * 3);
+}
+
+TEST_F(AppsTest, SynthCompletesWithBalancedTraffic)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    SynthAppConfig scfg;
+    scfg.n = 10;
+    scfg.groups = 5;
+    scfg.tBetween = 300;
+    Job *job = m.addJob("synth", makeSynthApp(4, scfg));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 1000000000ull));
+    // Every request earns exactly one reply.
+    double sent = 0;
+    for (auto *proc : job->procs)
+        sent += proc->stats.sent.value();
+    EXPECT_DOUBLE_EQ(sent, 2.0 * 4 * 10 * 5);
+}
+
+TEST_F(AppsTest, WaterRunsToCompletion)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    WaterAppConfig wcfg;
+    wcfg.molecules = 64;
+    wcfg.iterations = 2;
+    Job *job = m.addJob("water", makeWaterApp(4, wcfg));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 2000000000ull));
+    double sent = 0;
+    for (auto *proc : job->procs)
+        sent += proc->stats.sent.value();
+    EXPECT_GT(sent, 0.0);
+}
+
+TEST_F(AppsTest, BarnesRunsToCompletion)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    BarnesAppConfig bcfg;
+    bcfg.bodies = 128;
+    bcfg.iterations = 2;
+    Job *job = m.addJob("barnes", makeBarnesApp(4, bcfg));
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job, 2000000000ull));
+    double sent = 0;
+    for (auto *proc : job->procs)
+        sent += proc->stats.sent.value();
+    EXPECT_GT(sent, 0.0);
+}
+
+TEST_F(AppsTest, WorkloadsAreDeterministic)
+{
+    auto run = [](std::vector<double> &out) {
+        MachineConfig cfg;
+        cfg.nodes = 4;
+        cfg.seed = 33;
+        Machine m(cfg);
+        EnumAppConfig ecfg;
+        ecfg.side = 4;
+        Job *job = m.addJob("enum", makeEnumApp(4, ecfg, nullptr));
+        m.addJob("null", makeNullApp());
+        GangConfig g;
+        g.quantum = 20000;
+        g.skew = 0.25;
+        m.startGang(g);
+        ASSERT_TRUE(m.runUntilDone(job, 2000000000ull));
+        out.push_back(static_cast<double>(m.now()));
+        for (auto *proc : job->procs) {
+            out.push_back(proc->stats.sent.value());
+            out.push_back(proc->stats.directDelivered.value());
+            out.push_back(proc->stats.bufferedDelivered.value());
+        }
+    };
+    std::vector<double> a, b;
+    run(a);
+    run(b);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace

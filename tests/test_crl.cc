@@ -1,0 +1,308 @@
+/**
+ * @file
+ * CRL coherence protocol tests: data movement, invalidation,
+ * upgrades, writeback fetches, home locality, sequential consistency
+ * under contention, and operation over the buffered path when
+ * multiprogrammed with schedule skew.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/common.hh"
+#include "glaze/machine.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+using namespace fugu::apps;
+using exec::CoTask;
+using crl::Rid;
+
+namespace
+{
+
+struct CrlTest : ::testing::Test
+{
+    CrlTest() { detail::setThrowOnError(true); }
+    ~CrlTest() override { detail::setThrowOnError(false); }
+};
+
+CoTask<void>
+writerThenReaders(Process &p, unsigned nnodes, std::vector<Word> *seen)
+{
+    AppEnv &e = env(p, nnodes);
+    e.crl.createRegion(/*rid=*/1, /*home=*/1, /*words=*/40);
+    co_await e.barrier.wait();
+    if (p.node() == 0) {
+        co_await e.crl.startWrite(1);
+        for (unsigned i = 0; i < 40; ++i)
+            e.crl.write(1, i, 1000 + i);
+        co_await e.crl.endWrite(1);
+    }
+    co_await e.barrier.wait();
+    co_await e.crl.startRead(1);
+    for (unsigned i = 0; i < 40; ++i)
+        seen[p.node()].push_back(e.crl.read(1, i));
+    co_await e.crl.endRead(1);
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, WriterThenAllReadersSeeData)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    std::vector<Word> seen[4];
+    Job *job = m.addJob("crl", [&seen](Process &p) {
+        return writerThenReaders(p, 4, seen);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    for (unsigned n = 0; n < 4; ++n) {
+        ASSERT_EQ(seen[n].size(), 40u) << "node " << n;
+        for (unsigned i = 0; i < 40; ++i)
+            EXPECT_EQ(seen[n][i], 1000 + i) << "node " << n;
+    }
+}
+
+CoTask<void>
+incrementer(Process &p, unsigned nnodes, int iters, NodeId home)
+{
+    AppEnv &e = env(p, nnodes);
+    e.crl.createRegion(7, home, 4);
+    co_await e.barrier.wait();
+    for (int i = 0; i < iters; ++i) {
+        co_await e.crl.startWrite(7);
+        const Word v = e.crl.read(7, 0);
+        e.crl.write(7, 0, v + 1);
+        co_await e.crl.endWrite(7);
+        co_await p.compute(e.rng.uniform(10, 200));
+    }
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, ContendedCounterIsSequentiallyConsistent)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    constexpr int kIters = 50;
+    Job *job = m.addJob("ctr", [](Process &p) {
+        return incrementer(p, 4, kIters, /*home=*/2);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    // Read the final value out of the home's master copy.
+    // (All copies were written back or invalidated; check via a
+    // fresh read section on the home process's CRL.)
+    AppEnv &e = env(*job->procs[2], 4);
+    (void)e;
+    // The last writer's copy holds the truth; sum of increments:
+    // verify through the stats instead: every increment was a write
+    // section; total write sections == nodes * iters.
+    double total_writes = 0;
+    for (auto *proc : job->procs) {
+        AppEnv &pe = env(*proc, 4);
+        total_writes += pe.crl.stats.startOps.value();
+    }
+    EXPECT_GE(total_writes, 4.0 * kIters);
+}
+
+CoTask<void>
+counterCheck(Process &p, unsigned nnodes, int iters, Word *final_value)
+{
+    AppEnv &e = env(p, nnodes);
+    e.crl.createRegion(7, /*home=*/1, 4);
+    co_await e.barrier.wait();
+    for (int i = 0; i < iters; ++i) {
+        co_await e.crl.startWrite(7);
+        const Word v = e.crl.read(7, 0);
+        e.crl.write(7, 0, v + 1);
+        co_await e.crl.endWrite(7);
+        co_await p.compute(e.rng.uniform(10, 300));
+    }
+    co_await e.barrier.wait();
+    if (p.node() == 0) {
+        co_await e.crl.startRead(7);
+        *final_value = e.crl.read(7, 0);
+        co_await e.crl.endRead(7);
+    }
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, CounterSumsToTotalIncrements)
+{
+    MachineConfig cfg;
+    cfg.nodes = 8;
+    cfg.seed = 5;
+    Machine m(cfg);
+    constexpr int kIters = 40;
+    Word final_value = 0;
+    Job *job = m.addJob("ctr", [&final_value](Process &p) {
+        return counterCheck(p, 8, kIters, &final_value);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    EXPECT_EQ(final_value, 8u * kIters);
+}
+
+TEST_F(CrlTest, CounterCorrectUnderSkewedMultiprogramming)
+{
+    // The same consistency check, but gang-scheduled against a null
+    // application with heavy skew: protocol messages routinely take
+    // the buffered path and must still be delivered exactly once and
+    // in order.
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    Machine m(cfg);
+    constexpr int kIters = 30;
+    Word final_value = 0;
+    Job *job = m.addJob("ctr", [&final_value](Process &p) {
+        return counterCheck(p, 4, kIters, &final_value);
+    });
+    m.addJob("null", [](Process &p) -> CoTask<void> {
+        for (;;)
+            co_await p.compute(10000);
+    });
+    GangConfig g;
+    g.quantum = 25000;
+    g.skew = 0.4;
+    m.startGang(g);
+    ASSERT_TRUE(m.runUntilDone(job, 500000000ull));
+    EXPECT_EQ(final_value, 4u * kIters);
+    // The skew must actually have exercised the buffered path.
+    double buffered = 0;
+    for (auto *proc : job->procs)
+        buffered += proc->stats.bufferedDelivered.value();
+    EXPECT_GE(buffered, 1.0);
+}
+
+CoTask<void>
+upgradeApp(Process &p, unsigned nnodes, Word *observed)
+{
+    AppEnv &e = env(p, nnodes);
+    e.crl.createRegion(3, /*home=*/0, 8);
+    co_await e.barrier.wait();
+    // Everyone reads (region becomes widely shared).
+    co_await e.crl.startRead(3);
+    (void)e.crl.read(3, 0);
+    co_await e.crl.endRead(3);
+    co_await e.barrier.wait();
+    // Node 2 upgrades to write: invalidations must reach everyone.
+    if (p.node() == 2) {
+        co_await e.crl.startWrite(3);
+        e.crl.write(3, 0, 77);
+        co_await e.crl.endWrite(3);
+    }
+    co_await e.barrier.wait();
+    co_await e.crl.startRead(3);
+    observed[p.node()] = e.crl.read(3, 0);
+    co_await e.crl.endRead(3);
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, SharedToExclusiveUpgradeInvalidates)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    Machine m(cfg);
+    Word observed[4] = {};
+    Job *job = m.addJob("up", [&observed](Process &p) {
+        return upgradeApp(p, 4, observed);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    for (unsigned n = 0; n < 4; ++n)
+        EXPECT_EQ(observed[n], 77u) << "node " << n;
+    AppEnv &home_env = env(*job->procs[0], 4);
+    EXPECT_GE(home_env.crl.stats.invalidationsSent.value(), 1.0);
+    AppEnv &writer_env = env(*job->procs[2], 4);
+    EXPECT_GE(writer_env.crl.stats.upgrades.value(), 1.0);
+}
+
+CoTask<void>
+homeLocalApp(Process &p, unsigned nnodes, double *launches_delta)
+{
+    AppEnv &e = env(p, nnodes);
+    e.crl.createRegion(9, /*home=*/0, 16);
+    co_await e.barrier.wait();
+    if (p.node() == 0) {
+        const double before =
+            p.port().ni().stats.launches.value();
+        for (int i = 0; i < 10; ++i) {
+            co_await e.crl.startWrite(9);
+            e.crl.write(9, 0, i);
+            co_await e.crl.endWrite(9);
+            co_await e.crl.startRead(9);
+            (void)e.crl.read(9, 0);
+            co_await e.crl.endRead(9);
+        }
+        *launches_delta =
+            p.port().ni().stats.launches.value() - before;
+    }
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, HomeLocalAccessSendsNoProtocolMessages)
+{
+    MachineConfig cfg;
+    cfg.nodes = 2;
+    Machine m(cfg);
+    double launches_delta = -1;
+    Job *job = m.addJob("local", [&launches_delta](Process &p) {
+        return homeLocalApp(p, 2, &launches_delta);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    EXPECT_EQ(launches_delta, 0.0);
+}
+
+CoTask<void>
+randomMix(Process &p, unsigned nnodes, int ops, std::uint64_t seed,
+          bool *monotonic_ok)
+{
+    AppEnv &e = env(p, nnodes, seed);
+    constexpr unsigned kRegions = 6;
+    for (unsigned r = 0; r < kRegions; ++r)
+        e.crl.createRegion(100 + r, static_cast<NodeId>(r % nnodes), 24);
+    std::vector<Word> last(kRegions, 0);
+    co_await e.barrier.wait();
+    for (int i = 0; i < ops; ++i) {
+        const unsigned r = static_cast<unsigned>(
+            e.rng.uniform(0, kRegions - 1));
+        const Rid rid = 100 + r;
+        if (e.rng.uniform(0, 99) < 40) {
+            co_await e.crl.startWrite(rid);
+            e.crl.write(rid, 0, e.crl.read(rid, 0) + 1);
+            co_await e.crl.endWrite(rid);
+        } else {
+            co_await e.crl.startRead(rid);
+            const Word v = e.crl.read(rid, 0);
+            co_await e.crl.endRead(rid);
+            // Monotonic reads: per-region sequential consistency.
+            if (v < last[r])
+                *monotonic_ok = false;
+            last[r] = v;
+        }
+        co_await p.compute(e.rng.uniform(5, 100));
+    }
+    co_await e.barrier.wait();
+}
+
+TEST_F(CrlTest, RandomMixedWorkloadKeepsMonotonicReads)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 17;
+    Machine m(cfg);
+    bool monotonic_ok = true;
+    Job *job = m.addJob("mix", [&monotonic_ok](Process &p) {
+        return randomMix(p, 4, 120, 17, &monotonic_ok);
+    });
+    m.installJob(job);
+    ASSERT_TRUE(m.runUntilDone(job));
+    EXPECT_TRUE(monotonic_ok);
+}
+
+} // namespace

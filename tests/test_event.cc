@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+
+namespace
+{
+
+class ThrowOnError : public ::testing::Test
+{
+  protected:
+    void SetUp() override { detail::setThrowOnError(true); }
+    void TearDown() override { detail::setThrowOnError(false); }
+};
+
+using EventTest = ThrowOnError;
+
+struct RecordingEvent : Event
+{
+    RecordingEvent(std::string name, std::vector<std::string> *log)
+        : Event(std::move(name)), log(log)
+    {}
+
+    void process() override { log->push_back(name()); }
+
+    std::vector<std::string> *log;
+};
+
+TEST_F(EventTest, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log), c("c", &log);
+    eq.schedule(&b, 20);
+    eq.schedule(&a, 10);
+    eq.schedule(&c, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST_F(EventTest, SameCycleFiresInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log), c("c", &log);
+    eq.schedule(&c, 5);
+    eq.schedule(&a, 5);
+    eq.schedule(&b, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST_F(EventTest, DescheduleCancels)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_TRUE(b.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST_F(EventTest, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST_F(EventTest, EventMaySelfReschedule)
+{
+    EventQueue eq;
+    int count = 0;
+
+    struct Periodic : Event
+    {
+        Periodic(EventQueue *eq, int *count)
+            : Event("periodic"), eq(eq), count(count)
+        {}
+
+        void
+        process() override
+        {
+            if (++*count < 5)
+                eq->schedule(this, eq->now() + 10);
+        }
+
+        EventQueue *eq;
+        int *count;
+    };
+
+    Periodic p(&eq, &count);
+    eq.schedule(&p, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST_F(EventTest, DestructionWhileScheduledIsSafe)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    {
+        auto a = std::make_unique<RecordingEvent>("a", &log);
+        eq.schedule(a.get(), 10);
+        // Destroyed while scheduled: destructor deschedules.
+    }
+    RecordingEvent b("b", &log);
+    eq.schedule(&b, 20);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST_F(EventTest, ScheduleFnAndCancel)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 10);
+    auto handle = eq.scheduleFn([&] { fired += 100; }, 20);
+    eq.cancelFn(handle);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(EventTest, CancelAfterFireIsNoop)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto handle = eq.scheduleFn([&] { ++fired; }, 10);
+    eq.run();
+    eq.cancelFn(handle); // already fired; must not crash
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(EventTest, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 10);
+    eq.scheduleFn([&] { ++fired; }, 100);
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST_F(EventTest, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFn([] {}, 100);
+    eq.run();
+    RecordingEvent a("a", nullptr);
+    EXPECT_THROW(eq.schedule(&a, 50), SimError);
+}
+
+TEST_F(EventTest, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log);
+    eq.schedule(&a, 10);
+    EXPECT_THROW(eq.schedule(&a, 20), SimError);
+    eq.deschedule(&a);
+}
+
+TEST_F(EventTest, PendingCountsLiveEvents)
+{
+    EventQueue eq;
+    RecordingEvent a("a", nullptr), b("b", nullptr);
+    std::vector<std::string> log;
+    a.log = &log;
+    b.log = &log;
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Unit tests for the NetIf hardware model. Each test pins one row of
+ * the paper's Table 1 (operations), Table 2 (interrupts/traps) or
+ * Table 3 (UAC flags), plus GID demultiplexing and divert-mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/arch.hh"
+#include "core/netif.hh"
+#include "exec/cpu.hh"
+#include "net/network.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::core;
+using namespace fugu::exec;
+
+namespace
+{
+
+Task
+recordIrq(std::vector<std::string> *log, exec::Cpu *cpu, unsigned line,
+          std::function<void()> quiesce)
+{
+    log->push_back("irq" + std::to_string(line) + "@" +
+                   std::to_string(cpu->now()));
+    if (quiesce)
+        quiesce();
+    co_return;
+}
+
+struct NiTest : ::testing::Test
+{
+    NiTest()
+        : sg("test"), cpu0(eq, 0, &sg), cpu1(eq, 1, &sg),
+          net(eq, net::NetworkConfig{}, "net", &sg),
+          ni0(cpu0, net, 0, NetIfConfig{}, &sg),
+          ni1(cpu1, net, 1, NetIfConfig{}, &sg)
+    {
+        detail::setThrowOnError(true);
+        // Default handlers quiesce the level-triggered lines the way
+        // the OS stubs do: the message-available stub enters an
+        // atomic section; the mismatch stub extracts the message.
+        cpu1.setIrqHandler(kIrqMessageAvailable, [this](unsigned l) {
+            return recordIrq(&irqs, &cpu1, l, [this] {
+                ni1.writeUac(ni1.uac() | kUacInterruptDisable);
+            });
+        });
+        cpu1.setIrqHandler(kIrqMismatchAvailable, [this](unsigned l) {
+            return recordIrq(&irqs, &cpu1, l, [this] {
+                extracted.push_back(ni1.kernelExtract());
+            });
+        });
+        cpu1.setIrqHandler(kIrqAtomicityTimeout, [this](unsigned l) {
+            return recordIrq(&irqs, &cpu1, l, nullptr);
+        }, /*pulse=*/true);
+    }
+
+    ~NiTest() override { detail::setThrowOnError(false); }
+
+    /** Describe and launch a message from node 0 (kernel-free test). */
+    void
+    sendFrom0(NodeId dst, Word handler, std::vector<Word> payload = {},
+              bool user = true, bool kernel_header = false)
+    {
+        ni0.writeOutput(0, makeHeader(dst, kernel_header));
+        ni0.writeOutput(1, handler);
+        for (unsigned i = 0; i < payload.size(); ++i)
+            ni0.writeOutput(2 + i, payload[i]);
+        NiTrap t = ni0.launch(2 + payload.size(), user);
+        ASSERT_EQ(t, NiTrap::None);
+    }
+
+    EventQueue eq;
+    StatGroup sg;
+    Cpu cpu0, cpu1;
+    net::Network net;
+    NetIf ni0, ni1;
+    std::vector<std::string> irqs;
+    std::vector<net::Packet> extracted;
+};
+
+TEST_F(NiTest, LaunchCommitsAndClearsDescriptor)
+{
+    ni0.setGid(3);
+    ni1.setGid(3);
+    ni0.writeOutput(0, makeHeader(1));
+    ni0.writeOutput(1, 42);
+    ni0.writeOutput(2, 7);
+    EXPECT_EQ(ni0.descriptorLength(), 3u);
+    EXPECT_EQ(ni0.launch(3, true), NiTrap::None);
+    EXPECT_EQ(ni0.descriptorLength(), 0u);
+    eq.run();
+    ASSERT_TRUE(ni1.messageAvailable());
+    EXPECT_EQ(ni1.readInput(1), 42u);
+    EXPECT_EQ(ni1.readInput(2), 7u);
+    EXPECT_EQ(ni1.head()->gid, 3);
+    EXPECT_EQ(headerNode(ni1.readInput(0)), 0);
+}
+
+TEST_F(NiTest, UserLaunchOfKernelMessageTrapsProtection)
+{
+    // Table 1 / Table 2: protection-violation.
+    ni0.writeOutput(0, makeHeader(1, /*kernel=*/true));
+    ni0.writeOutput(1, 1);
+    EXPECT_EQ(ni0.launch(2, /*user_mode=*/true), NiTrap::Protection);
+    eq.run();
+    EXPECT_EQ(ni1.head(), nullptr); // nothing was sent
+}
+
+TEST_F(NiTest, KernelLaunchOfKernelMessageAllowed)
+{
+    ni1.setGid(5);
+    ni0.writeOutput(0, makeHeader(1, /*kernel=*/true));
+    ni0.writeOutput(1, 1);
+    EXPECT_EQ(ni0.launch(2, /*user_mode=*/false), NiTrap::None);
+    eq.run();
+    // Kernel-stamped messages never match a user GID: the mismatch
+    // stub (the OS) pulled it out of the queue.
+    ASSERT_EQ(extracted.size(), 1u);
+    EXPECT_EQ(extracted[0].gid, kKernelGid);
+    EXPECT_FALSE(ni1.messageAvailable());
+}
+
+TEST_F(NiTest, LaunchWithEmptyDescriptorIsNoop)
+{
+    EXPECT_EQ(ni0.launch(2, true), NiTrap::None);
+    eq.run();
+    EXPECT_EQ(ni1.head(), nullptr);
+}
+
+TEST_F(NiTest, MatchingGidRaisesMessageAvailable)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    sendFrom0(1, 9);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0].substr(0, 4), "irq2"); // kIrqMessageAvailable
+    EXPECT_DOUBLE_EQ(ni1.stats.messageIrqs.value(), 1.0);
+}
+
+TEST_F(NiTest, MismatchedGidRaisesMismatchAvailable)
+{
+    ni0.setGid(4);
+    ni1.setGid(6);
+    sendFrom0(1, 9);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0].substr(0, 4), "irq0"); // kIrqMismatchAvailable
+    EXPECT_EQ(extracted.size(), 1u);
+    EXPECT_DOUBLE_EQ(ni1.stats.mismatchIrqs.value(), 1.0);
+}
+
+TEST_F(NiTest, DivertModeDivertsEvenMatchingGids)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.setDivert(true);
+    sendFrom0(1, 9);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0].substr(0, 4), "irq0");
+    EXPECT_FALSE(ni1.messageAvailable());
+}
+
+TEST_F(NiTest, InterruptDisableSuppressesIrqButNotFlag)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.beginAtom(kUacInterruptDisable);
+    sendFrom0(1, 9);
+    eq.run();
+    EXPECT_TRUE(ni1.messageAvailable());
+    EXPECT_TRUE(irqs.empty());
+    // Re-enabling delivers the pending interrupt.
+    EXPECT_EQ(ni1.endAtom(kUacInterruptDisable), NiTrap::None);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0].substr(0, 4), "irq2");
+}
+
+TEST_F(NiTest, DisposeExposesNextMessage)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.beginAtom(kUacInterruptDisable); // keep them queued
+    sendFrom0(1, 9, {1});
+    sendFrom0(1, 9, {2});
+    eq.run();
+    ASSERT_TRUE(ni1.messageAvailable());
+    EXPECT_EQ(ni1.readInput(2), 1u);
+    EXPECT_EQ(ni1.dispose(true), NiTrap::None);
+    ASSERT_TRUE(ni1.messageAvailable());
+    EXPECT_EQ(ni1.readInput(2), 2u);
+    EXPECT_EQ(ni1.dispose(true), NiTrap::None);
+    EXPECT_FALSE(ni1.messageAvailable());
+}
+
+TEST_F(NiTest, DisposeWithNoMessageIsBadDispose)
+{
+    ni1.setGid(4);
+    ni1.beginAtom(kUacInterruptDisable);
+    EXPECT_EQ(ni1.dispose(true), NiTrap::BadDispose);
+}
+
+TEST_F(NiTest, DisposeInDivertModeIsDisposeExtend)
+{
+    // Table 1: divert-mode set -> dispose-extend trap.
+    ni1.setGid(4);
+    ni1.setDivert(true);
+    EXPECT_EQ(ni1.dispose(true), NiTrap::DisposeExtend);
+}
+
+TEST_F(NiTest, EndAtomWithDisposePendingIsDisposeFailure)
+{
+    ni1.setKernelUac(kUacDisposePending, 0);
+    EXPECT_EQ(ni1.endAtom(kUacInterruptDisable), NiTrap::DisposeFailure);
+    // Dispose resets dispose-pending (Table 3): endatom then succeeds.
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.beginAtom(kUacInterruptDisable);
+    sendFrom0(1, 9);
+    eq.run();
+    EXPECT_EQ(ni1.dispose(true), NiTrap::None);
+    EXPECT_FALSE(ni1.uac() & kUacDisposePending);
+    EXPECT_EQ(ni1.endAtom(kUacInterruptDisable), NiTrap::None);
+}
+
+TEST_F(NiTest, EndAtomWithAtomicityExtendTraps)
+{
+    ni1.setKernelUac(kUacAtomicityExtend, 0);
+    EXPECT_EQ(ni1.endAtom(kUacInterruptDisable),
+              NiTrap::AtomicityExtend);
+    ni1.setKernelUac(0, kUacAtomicityExtend);
+    EXPECT_EQ(ni1.endAtom(kUacInterruptDisable), NiTrap::None);
+}
+
+TEST_F(NiTest, BeginAtomCannotSetKernelBits)
+{
+    ni1.beginAtom(kUacDisposePending | kUacAtomicityExtend |
+                  kUacInterruptDisable);
+    EXPECT_EQ(ni1.uac(), kUacInterruptDisable);
+}
+
+TEST_F(NiTest, WriteUacMasksToArchitecturalBits)
+{
+    ni1.writeUac(0xffffffffu);
+    EXPECT_EQ(ni1.uac(), kUacUserMask | kUacKernelMask);
+}
+
+Task
+spinUser(Cpu *cpu, int iters)
+{
+    for (int i = 0; i < iters; ++i)
+        co_await cpu->spend(100);
+}
+
+TEST_F(NiTest, AtomicityTimerFiresAfterPresetUserCycles)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.setAtomicityTimeout(500);
+    ni1.beginAtom(kUacInterruptDisable);
+    sendFrom0(1, 9);
+    // A user context must be running for user-cycle time to pass.
+    auto ctx = cpu1.spawn("u", false, spinUser(&cpu1, 50));
+    cpu1.switchTo(ctx);
+    eq.run();
+    // Message arrives at 9; timer enabled then; 500 user cycles later.
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0], "irq1@509");
+    EXPECT_DOUBLE_EQ(ni1.stats.atomicityTimeouts.value(), 1.0);
+}
+
+TEST_F(NiTest, DisposePresetsTimer)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.setAtomicityTimeout(500);
+    ni1.beginAtom(kUacInterruptDisable);
+    sendFrom0(1, 9, {1});
+    sendFrom0(1, 9, {2});
+    auto ctx = cpu1.spawn("u", false, spinUser(&cpu1, 50));
+    cpu1.switchTo(ctx);
+    // Both messages arrive by ~13; dispose the first at user cycle
+    // 300: the timer restarts for the second message.
+    eq.scheduleFn([&] { EXPECT_EQ(ni1.dispose(true), NiTrap::None); },
+                  300);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    // Restarted at 300, fires 500 user-cycles later.
+    EXPECT_EQ(irqs[0], "irq1@800");
+}
+
+TEST_F(NiTest, TimerCanceledWhenQueueDrains)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.setAtomicityTimeout(500);
+    ni1.beginAtom(kUacInterruptDisable);
+    sendFrom0(1, 9);
+    auto ctx = cpu1.spawn("u", false, spinUser(&cpu1, 50));
+    cpu1.switchTo(ctx);
+    eq.scheduleFn([&] { EXPECT_EQ(ni1.dispose(true), NiTrap::None); },
+                  100);
+    eq.run();
+    EXPECT_TRUE(irqs.empty());
+}
+
+TEST_F(NiTest, TimerForceEnablesWithoutPendingMessage)
+{
+    ni1.setGid(4);
+    ni1.setAtomicityTimeout(200);
+    ni1.beginAtom(kUacTimerForce);
+    auto ctx = cpu1.spawn("u", false, spinUser(&cpu1, 10));
+    cpu1.switchTo(ctx);
+    eq.run();
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0], "irq1@200");
+}
+
+TEST_F(NiTest, SaveRestoreOutputDescriptor)
+{
+    ni0.writeOutput(0, makeHeader(1));
+    ni0.writeOutput(1, 5);
+    ni0.writeOutput(2, 77);
+    auto saved = ni0.saveOutput();
+    EXPECT_EQ(ni0.descriptorLength(), 0u);
+    EXPECT_EQ(saved.size(), 3u);
+    // Another process describes and launches in between.
+    sendFrom0(1, 1);
+    ni0.restoreOutput(saved);
+    EXPECT_EQ(ni0.descriptorLength(), 3u);
+    ni1.setGid(0xb);
+    ni0.setGid(0xb);
+    EXPECT_EQ(ni0.launch(3, true), NiTrap::None);
+    eq.run();
+    // Second delivered message carries the restored payload.
+    ASSERT_EQ(extracted.size(), 1u); // the first (mismatch at gid 0)
+    ASSERT_TRUE(ni1.messageAvailable());
+    EXPECT_EQ(ni1.readInput(2), 77u);
+}
+
+TEST_F(NiTest, FullInputQueueBackPressuresNetwork)
+{
+    ni0.setGid(4);
+    ni1.setGid(4);
+    ni1.beginAtom(kUacInterruptDisable); // nobody extracts
+    for (Word i = 0; i < 6; ++i)
+        sendFrom0(1, 9, {i});
+    eq.run();
+    // Input queue holds 4; the rest wait in the network.
+    EXPECT_GE(net.stats.headOfLineBlocks.value(), 1.0);
+    EXPECT_EQ(ni1.stats.received.value(), 4.0);
+    for (Word i = 0; i < 6; ++i) {
+        ASSERT_TRUE(ni1.messageAvailable());
+        EXPECT_EQ(ni1.readInput(2), i);
+        EXPECT_EQ(ni1.dispose(true), NiTrap::None);
+        eq.run();
+    }
+    EXPECT_FALSE(ni1.messageAvailable());
+}
+
+TEST_F(NiTest, KernelExtractBypassesChecks)
+{
+    ni0.setGid(4);
+    ni1.setGid(9); // mismatch
+    sendFrom0(1, 9, {123});
+    eq.run();
+    ASSERT_EQ(extracted.size(), 1u);
+    EXPECT_EQ(extracted[0].payload[0], 123u);
+    EXPECT_EQ(extracted[0].gid, 4);
+}
+
+} // namespace

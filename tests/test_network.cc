@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the interconnect model: ordering, latency,
+ * back-pressure, head-of-line blocking, and space notifications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::net;
+
+namespace
+{
+
+/** Sink with a configurable capacity and manual dequeue. */
+struct QueueSink : NetSink
+{
+    explicit QueueSink(std::size_t capacity = ~std::size_t(0))
+        : capacity(capacity)
+    {}
+
+    bool
+    tryDeliver(Packet &&pkt) override
+    {
+        if (q.size() >= capacity)
+            return false;
+        q.push_back(std::move(pkt));
+        return true;
+    }
+
+    std::size_t capacity;
+    std::deque<Packet> q;
+};
+
+struct NetworkTest : ::testing::Test
+{
+    NetworkTest()
+        : stats("test"), net(eq, NetworkConfig{}, "net", &stats)
+    {
+        detail::setThrowOnError(true);
+        for (NodeId n = 0; n < 4; ++n)
+            net.attach(n, &sinks[n]);
+    }
+
+    ~NetworkTest() override { detail::setThrowOnError(false); }
+
+    Packet
+    mkPkt(NodeId src, NodeId dst, std::vector<Word> payload = {})
+    {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.handler = 7;
+        p.payload = std::move(payload);
+        return p;
+    }
+
+    EventQueue eq;
+    StatGroup stats;
+    Network net;
+    QueueSink sinks[4];
+};
+
+TEST_F(NetworkTest, DeliversWithModelLatency)
+{
+    net.send(mkPkt(0, 1));
+    eq.run();
+    ASSERT_EQ(sinks[1].q.size(), 1u);
+    // base 5 + 1 hop * 2 + 2 words * 1 = 9
+    EXPECT_EQ(eq.now(), 9u);
+    EXPECT_EQ(sinks[1].q.front().handler, 7u);
+}
+
+TEST_F(NetworkTest, HopsAreMeshDistance)
+{
+    // 4x4 mesh: node 0 = (0,0), node 5 = (1,1), node 15 = (3,3).
+    EXPECT_EQ(net.hops(0, 0), 0u);
+    EXPECT_EQ(net.hops(0, 1), 1u);
+    EXPECT_EQ(net.hops(0, 5), 2u);
+    EXPECT_EQ(net.hops(0, 15), 6u);
+    EXPECT_EQ(net.hops(15, 0), 6u);
+}
+
+TEST_F(NetworkTest, PairwiseFifoEvenWithDifferentSizes)
+{
+    // A long message followed by a short one on the same channel:
+    // the short one must not overtake.
+    net.send(mkPkt(0, 1, std::vector<Word>(14, 1)));
+    net.send(mkPkt(0, 1, {2}));
+    eq.run();
+    ASSERT_EQ(sinks[1].q.size(), 2u);
+    EXPECT_EQ(sinks[1].q[0].payload.size(), 14u);
+    EXPECT_EQ(sinks[1].q[1].payload.size(), 1u);
+    EXPECT_LE(sinks[1].q[0].seq, sinks[1].q[1].seq);
+}
+
+TEST_F(NetworkTest, ManyMessagesStayFifoPerChannel)
+{
+    for (Word i = 0; i < 8; ++i) {
+        while (!net.canAccept(0, 1, 3))
+            eq.runOne();
+        net.send(mkPkt(0, 1, {i}));
+    }
+    eq.run();
+    ASSERT_EQ(sinks[1].q.size(), 8u);
+    for (Word i = 0; i < 8; ++i)
+        EXPECT_EQ(sinks[1].q[i].payload[0], i);
+}
+
+TEST_F(NetworkTest, ChannelCapacityBlocksSender)
+{
+    // Default capacity 64 words; 16-word messages: 4 fit.
+    for (int i = 0; i < 4; ++i)
+        net.send(mkPkt(0, 1, std::vector<Word>(14, 0)));
+    EXPECT_FALSE(net.canAccept(0, 1, 16));
+    // A different channel is unaffected.
+    EXPECT_TRUE(net.canAccept(0, 2, 16));
+    EXPECT_TRUE(net.canAccept(2, 1, 16));
+    eq.run();
+    EXPECT_TRUE(net.canAccept(0, 1, 16));
+    EXPECT_EQ(sinks[1].q.size(), 4u);
+}
+
+TEST_F(NetworkTest, FullSinkBlocksChannelUntilSpaceFreed)
+{
+    sinks[1].capacity = 1;
+    net.send(mkPkt(0, 1, {1}));
+    net.send(mkPkt(0, 1, {2}));
+    eq.run();
+    // Second message is stuck behind the full queue.
+    ASSERT_EQ(sinks[1].q.size(), 1u);
+    EXPECT_EQ(sinks[1].q[0].payload[0], 1u);
+    EXPECT_FALSE(net.canAccept(0, 1, 64)); // words still in flight
+    EXPECT_GE(net.stats.headOfLineBlocks.value(), 1.0);
+
+    sinks[1].q.pop_front();
+    net.onSinkSpaceFreed(1);
+    ASSERT_EQ(sinks[1].q.size(), 1u);
+    EXPECT_EQ(sinks[1].q[0].payload[0], 2u);
+}
+
+TEST_F(NetworkTest, SubscribeSpaceFiresWhenChannelDrains)
+{
+    int fired = 0;
+    for (int i = 0; i < 4; ++i)
+        net.send(mkPkt(0, 1, std::vector<Word>(14, 0)));
+    EXPECT_FALSE(net.canAccept(0, 1, 16));
+    net.subscribeSpace(0, 1, [&] { ++fired; });
+    EXPECT_EQ(fired, 0);
+    eq.run();
+    EXPECT_GE(fired, 1);
+    EXPECT_TRUE(net.canAccept(0, 1, 16));
+}
+
+TEST_F(NetworkTest, LoopbackDelivers)
+{
+    net.send(mkPkt(2, 2, {9}));
+    eq.run();
+    ASSERT_EQ(sinks[2].q.size(), 1u);
+    // base 5 + 0 hops + 3 words = 8
+    EXPECT_EQ(eq.now(), 8u);
+}
+
+TEST_F(NetworkTest, OversizedMessagePanics)
+{
+    EXPECT_THROW(net.send(mkPkt(0, 1, std::vector<Word>(15, 0))),
+                 SimError);
+}
+
+TEST_F(NetworkTest, StatsCountDeliveries)
+{
+    net.send(mkPkt(0, 1, {1, 2}));
+    net.send(mkPkt(0, 2));
+    eq.run();
+    EXPECT_DOUBLE_EQ(net.stats.messages.value(), 2.0);
+    EXPECT_DOUBLE_EQ(net.stats.words.value(), 6.0);
+    EXPECT_EQ(net.stats.deliveryLatency.count(), 2u);
+}
+
+TEST_F(NetworkTest, TwoNetworksAreIndependent)
+{
+    NetworkConfig slow;
+    slow.latencyBase = 100;
+    slow.perWord = 8;
+    Network os(eq, slow, "net_os", &stats);
+    QueueSink osSink;
+    os.attach(0, &osSink);
+    os.attach(1, &osSink);
+
+    net.send(mkPkt(0, 1));
+    os.send(mkPkt(0, 1));
+    eq.run();
+    EXPECT_EQ(sinks[1].q.size(), 1u);
+    EXPECT_EQ(osSink.q.size(), 1u);
+    EXPECT_GT(os.stats.deliveryLatency.mean(),
+              net.stats.deliveryLatency.mean());
+}
+
+TEST_F(NetworkTest, InterleavedChannelsDeliverByArrivalTime)
+{
+    // Node 3 is farther from 1 than node 0 is; with same inject time
+    // the nearer sender's message arrives first.
+    net.send(mkPkt(3, 1, {33}));
+    net.send(mkPkt(0, 1, {11}));
+    eq.run();
+    ASSERT_EQ(sinks[1].q.size(), 2u);
+    EXPECT_EQ(sinks[1].q[0].payload[0], 11u);
+    EXPECT_EQ(sinks[1].q[1].payload[0], 33u);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+using namespace fugu;
+
+namespace
+{
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniform(10, 20);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 20u);
+    }
+}
+
+TEST(RngTest, UniformSingletonRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformCoversRange)
+{
+    Rng r(3);
+    bool seen[4] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.uniform(0, 3)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform)
+{
+    Rng r(11);
+    constexpr int kBuckets = 10, kDraws = 100000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.uniform(0, kBuckets - 1)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 0.9);
+        EXPECT_LT(c, kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(RngTest, RealInUnitInterval)
+{
+    Rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic)
+{
+    Rng a(99), b(99);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(fa.next(), fb.next());
+    // Parent and child streams should differ.
+    Rng c(99);
+    Rng fc = c.fork();
+    EXPECT_NE(fc.next(), c.next());
+}
+
+} // namespace

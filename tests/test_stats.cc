@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace fugu;
+
+namespace
+{
+
+TEST(StatsTest, ScalarAccumulates)
+{
+    StatGroup root("root");
+    Scalar s(&root, "count", "a counter");
+    s += 2;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.set(7);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, DistributionTracksMoments)
+{
+    StatGroup root("root");
+    Distribution d(&root, "lat", "latency");
+    d.sample(10);
+    d.sample(30);
+    d.sample(20);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 10.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 30.0);
+}
+
+TEST(StatsTest, EmptyDistributionIsZero)
+{
+    StatGroup root("root");
+    Distribution d(&root, "lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 0.0);
+}
+
+TEST(StatsTest, PrintUsesHierarchicalNames)
+{
+    StatGroup root("machine");
+    StatGroup child("node0", &root);
+    Scalar s(&child, "msgs", "messages");
+    s += 42;
+    std::ostringstream os;
+    root.print(os);
+    EXPECT_NE(os.str().find("machine.node0.msgs 42"), std::string::npos);
+}
+
+TEST(StatsTest, ResetAllRecurses)
+{
+    StatGroup root("root");
+    StatGroup child("c", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(StatsTest, ChildGroupMayBeDestroyedFirst)
+{
+    StatGroup root("root");
+    {
+        StatGroup child("c", &root);
+        Scalar b(&child, "b", "");
+        b += 2;
+    }
+    std::ostringstream os;
+    root.print(os); // must not touch the destroyed child
+    EXPECT_EQ(os.str().find("c.b"), std::string::npos);
+}
+
+} // namespace

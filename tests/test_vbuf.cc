@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the virtual buffer: page accounting, FIFO content,
+ * swap-out/page-in, and frame reclamation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch.hh"
+#include "glaze/vbuf.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+
+namespace
+{
+
+struct VbufTest : ::testing::Test
+{
+    VbufTest() : sg("t"), pool(6, &sg, 0), vb(pool, &sg, 0, 1)
+    {
+        detail::setThrowOnError(true);
+    }
+
+    ~VbufTest() override { detail::setThrowOnError(false); }
+
+    net::Packet
+    pkt(Word tag, unsigned payload_words = 1)
+    {
+        net::Packet p;
+        p.src = 3;
+        p.dst = 0;
+        p.gid = 1;
+        p.handler = 9;
+        p.payload.assign(payload_words, tag);
+        return p;
+    }
+
+    void
+    insert(Word tag, unsigned payload_words = 1)
+    {
+        net::Packet p = pkt(tag, payload_words);
+        if (vb.needsNewPageFor(p)) {
+            ASSERT_TRUE(vb.allocatePage());
+        }
+        vb.insert(std::move(p));
+    }
+
+    StatGroup sg;
+    FramePool pool;
+    VirtualBuffer vb;
+};
+
+TEST_F(VbufTest, FifoContentMatchesInputWindowLayout)
+{
+    insert(100);
+    insert(200);
+    ASSERT_TRUE(vb.available());
+    EXPECT_EQ(vb.size(), 3u);
+    EXPECT_EQ(core::headerNode(vb.read(0)), 3);
+    EXPECT_EQ(vb.read(1), 9u);
+    EXPECT_EQ(vb.read(2), 100u);
+    vb.pop();
+    EXPECT_EQ(vb.read(2), 200u);
+    vb.pop();
+    EXPECT_FALSE(vb.available());
+}
+
+TEST_F(VbufTest, PagesAllocatedOnDemandAndFreedOnDrain)
+{
+    // Footprint = size+2 = 5 words for 1-payload messages; a page
+    // holds kPageWords/5 of them.
+    const unsigned per_page = kPageWords / 5;
+    for (unsigned i = 0; i < per_page + 1; ++i)
+        insert(i);
+    EXPECT_EQ(vb.pagesAllocated(), 2u);
+    EXPECT_EQ(pool.used(), 2u);
+    EXPECT_DOUBLE_EQ(vb.stats.peakPages.value(), 2.0);
+    // Drain the first page's worth: its frame returns.
+    for (unsigned i = 0; i < per_page; ++i)
+        vb.pop();
+    EXPECT_EQ(vb.pagesAllocated(), 1u);
+    EXPECT_EQ(pool.used(), 1u);
+    vb.pop();
+    EXPECT_TRUE(vb.empty());
+    EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST_F(VbufTest, InsertWithoutPagePanics)
+{
+    net::Packet p = pkt(1);
+    EXPECT_THROW(vb.insert(std::move(p)), SimError);
+}
+
+TEST_F(VbufTest, SwapOutReleasesFramesNewestFirst)
+{
+    const unsigned per_page = kPageWords / 5;
+    for (unsigned i = 0; i < 3 * per_page; ++i)
+        insert(i);
+    EXPECT_EQ(vb.pagesAllocated(), 3u);
+    EXPECT_EQ(vb.swapOut(2), 2u);
+    EXPECT_EQ(pool.used(), 1u);
+    EXPECT_EQ(vb.pagesResident(), 1u);
+    // The front (draining) page is never swapped: reads still work.
+    EXPECT_FALSE(vb.frontSwapped());
+    EXPECT_EQ(vb.read(2), 0u);
+}
+
+TEST_F(VbufTest, DrainIntoSwappedPageRequiresPageIn)
+{
+    const unsigned per_page = kPageWords / 5;
+    for (unsigned i = 0; i < 2 * per_page; ++i)
+        insert(i);
+    EXPECT_EQ(vb.swapOut(1), 1u);
+    for (unsigned i = 0; i < per_page; ++i)
+        vb.pop();
+    // Now the front message sits on the swapped page.
+    EXPECT_TRUE(vb.frontSwapped());
+    EXPECT_THROW(vb.read(2), SimError);
+    ASSERT_TRUE(vb.pageInFront());
+    EXPECT_EQ(vb.read(2), per_page);
+    EXPECT_DOUBLE_EQ(vb.stats.pageIns.value(), 1.0);
+}
+
+TEST_F(VbufTest, StatsCountInsertsAndDrains)
+{
+    insert(1);
+    insert(2);
+    vb.pop();
+    EXPECT_DOUBLE_EQ(vb.stats.inserts.value(), 2.0);
+    EXPECT_DOUBLE_EQ(vb.stats.drained.value(), 1.0);
+}
+
+TEST_F(VbufTest, DestructorReturnsResidentFrames)
+{
+    {
+        VirtualBuffer v2(pool, &sg, 0, 2);
+        net::Packet p = pkt(1);
+        ASSERT_TRUE(v2.allocatePage());
+        v2.insert(std::move(p));
+        EXPECT_EQ(pool.used(), 1u);
+    }
+    EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST_F(VbufTest, LargeMessagesPackFewerPerPage)
+{
+    // 14-word payloads: footprint 18; page holds 56.
+    const unsigned per_page = kPageWords / 18;
+    for (unsigned i = 0; i < per_page + 1; ++i)
+        insert(i, 14);
+    EXPECT_EQ(vb.pagesAllocated(), 2u);
+}
+
+} // namespace

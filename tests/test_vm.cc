@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the frame pool and demand-zero address spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "glaze/vm.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+
+namespace
+{
+
+struct VmTest : ::testing::Test
+{
+    VmTest() : sg("t"), pool(8, &sg, 0) { detail::setThrowOnError(true); }
+    ~VmTest() override { detail::setThrowOnError(false); }
+
+    StatGroup sg;
+    FramePool pool;
+};
+
+TEST_F(VmTest, PoolAllocatesUpToTotal)
+{
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(pool.tryAllocate());
+    EXPECT_FALSE(pool.tryAllocate());
+    EXPECT_EQ(pool.free(), 0u);
+    EXPECT_DOUBLE_EQ(pool.stats.allocationFailures.value(), 1.0);
+    pool.release();
+    EXPECT_TRUE(pool.tryAllocate());
+}
+
+TEST_F(VmTest, PeakUsedTracksHighWater)
+{
+    pool.tryAllocate();
+    pool.tryAllocate();
+    pool.release();
+    pool.tryAllocate();
+    EXPECT_DOUBLE_EQ(pool.stats.peakUsed.value(), 2.0);
+}
+
+TEST_F(VmTest, WatermarkDetection)
+{
+    pool.setLowWatermark(2);
+    for (int i = 0; i < 5; ++i)
+        pool.tryAllocate();
+    EXPECT_FALSE(pool.belowWatermark()); // 3 free > 2
+    pool.tryAllocate();
+    EXPECT_TRUE(pool.belowWatermark()); // 2 free <= 2
+}
+
+TEST_F(VmTest, ReleaseWithoutAllocatePanics)
+{
+    EXPECT_THROW(pool.release(), SimError);
+}
+
+TEST_F(VmTest, AddressSpaceDemandZeroLifecycle)
+{
+    AddressSpace as(pool);
+    as.reserve(10, 3);
+    EXPECT_EQ(as.state(10), PageState::ZeroFill);
+    EXPECT_EQ(as.state(13), PageState::Unmapped);
+    EXPECT_TRUE(as.needsFault(10));
+    EXPECT_TRUE(as.mapPage(10));
+    EXPECT_EQ(as.state(10), PageState::Mapped);
+    EXPECT_FALSE(as.needsFault(10));
+    EXPECT_EQ(as.mappedPages(), 1u);
+    EXPECT_EQ(pool.used(), 1u);
+    as.unmapPage(10);
+    EXPECT_EQ(pool.used(), 0u);
+    EXPECT_EQ(as.state(10), PageState::ZeroFill);
+}
+
+TEST_F(VmTest, AccessToUnreservedPagePanics)
+{
+    AddressSpace as(pool);
+    EXPECT_THROW(as.needsFault(99), SimError);
+}
+
+TEST_F(VmTest, MapFailsWhenPoolEmpty)
+{
+    AddressSpace as(pool);
+    as.reserve(0, 16);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(as.mapPage(i));
+    EXPECT_FALSE(as.mapPage(8));
+}
+
+TEST_F(VmTest, AddressSpaceDtorReturnsFrames)
+{
+    {
+        AddressSpace as(pool);
+        as.reserve(0, 4);
+        as.mapPage(0);
+        as.mapPage(1);
+        EXPECT_EQ(pool.used(), 2u);
+    }
+    EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST_F(VmTest, DoubleReservePanics)
+{
+    AddressSpace as(pool);
+    as.reserve(5, 2);
+    EXPECT_THROW(as.reserve(6, 1), SimError);
+}
+
+} // namespace
