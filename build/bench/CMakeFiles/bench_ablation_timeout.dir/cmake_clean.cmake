@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timeout.dir/bench_ablation_timeout.cc.o"
+  "CMakeFiles/bench_ablation_timeout.dir/bench_ablation_timeout.cc.o.d"
+  "bench_ablation_timeout"
+  "bench_ablation_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_twocase.dir/bench_ablation_twocase.cc.o"
+  "CMakeFiles/bench_ablation_twocase.dir/bench_ablation_twocase.cc.o.d"
+  "bench_ablation_twocase"
+  "bench_ablation_twocase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twocase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vbuf.dir/bench_ablation_vbuf.cc.o"
+  "CMakeFiles/bench_ablation_vbuf.dir/bench_ablation_vbuf.cc.o.d"
+  "bench_ablation_vbuf"
+  "bench_ablation_vbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

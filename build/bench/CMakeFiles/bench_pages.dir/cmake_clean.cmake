@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pages.dir/bench_pages.cc.o"
+  "CMakeFiles/bench_pages.dir/bench_pages.cc.o.d"
+  "bench_pages"
+  "bench_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

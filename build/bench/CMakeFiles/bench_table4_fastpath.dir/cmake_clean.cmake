@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fastpath.dir/bench_table4_fastpath.cc.o"
+  "CMakeFiles/bench_table4_fastpath.dir/bench_table4_fastpath.cc.o.d"
+  "bench_table4_fastpath"
+  "bench_table4_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_buffered.dir/bench_table5_buffered.cc.o"
+  "CMakeFiles/bench_table5_buffered.dir/bench_table5_buffered.cc.o.d"
+  "bench_table5_buffered"
+  "bench_table5_buffered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_buffered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_appchar.dir/bench_table6_appchar.cc.o"
+  "CMakeFiles/bench_table6_appchar.dir/bench_table6_appchar.cc.o.d"
+  "bench_table6_appchar"
+  "bench_table6_appchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_appchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crl_stencil.dir/crl_stencil.cc.o"
+  "CMakeFiles/crl_stencil.dir/crl_stencil.cc.o.d"
+  "crl_stencil"
+  "crl_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crl_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

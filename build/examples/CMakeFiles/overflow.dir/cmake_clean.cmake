@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow.dir/overflow.cc.o"
+  "CMakeFiles/overflow.dir/overflow.cc.o.d"
+  "overflow"
+  "overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fugu_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/crl/CMakeFiles/fugu_crl.dir/DependInfo.cmake"
+  "/root/repo/build/src/glaze/CMakeFiles/fugu_glaze.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/fugu_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fugu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fugu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fugu_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fugu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

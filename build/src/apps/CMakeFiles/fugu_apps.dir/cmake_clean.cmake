@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_apps.dir/barnes.cc.o"
+  "CMakeFiles/fugu_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/barrierapp.cc.o"
+  "CMakeFiles/fugu_apps.dir/barrierapp.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/enumapp.cc.o"
+  "CMakeFiles/fugu_apps.dir/enumapp.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/lu.cc.o"
+  "CMakeFiles/fugu_apps.dir/lu.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/nullapp.cc.o"
+  "CMakeFiles/fugu_apps.dir/nullapp.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/synthapp.cc.o"
+  "CMakeFiles/fugu_apps.dir/synthapp.cc.o.d"
+  "CMakeFiles/fugu_apps.dir/water.cc.o"
+  "CMakeFiles/fugu_apps.dir/water.cc.o.d"
+  "libfugu_apps.a"
+  "libfugu_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

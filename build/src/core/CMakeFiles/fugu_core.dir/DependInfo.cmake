@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/netif.cc" "src/core/CMakeFiles/fugu_core.dir/netif.cc.o" "gcc" "src/core/CMakeFiles/fugu_core.dir/netif.cc.o.d"
+  "/root/repo/src/core/udm.cc" "src/core/CMakeFiles/fugu_core.dir/udm.cc.o" "gcc" "src/core/CMakeFiles/fugu_core.dir/udm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fugu_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fugu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fugu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_core.dir/netif.cc.o"
+  "CMakeFiles/fugu_core.dir/netif.cc.o.d"
+  "CMakeFiles/fugu_core.dir/udm.cc.o"
+  "CMakeFiles/fugu_core.dir/udm.cc.o.d"
+  "libfugu_core.a"
+  "libfugu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_crl.dir/crl.cc.o"
+  "CMakeFiles/fugu_crl.dir/crl.cc.o.d"
+  "libfugu_crl.a"
+  "libfugu_crl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

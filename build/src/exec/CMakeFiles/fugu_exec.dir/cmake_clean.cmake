@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_exec.dir/cpu.cc.o"
+  "CMakeFiles/fugu_exec.dir/cpu.cc.o.d"
+  "libfugu_exec.a"
+  "libfugu_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

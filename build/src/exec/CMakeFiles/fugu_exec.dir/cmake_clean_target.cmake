@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfugu_exec.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glaze/kernel.cc" "src/glaze/CMakeFiles/fugu_glaze.dir/kernel.cc.o" "gcc" "src/glaze/CMakeFiles/fugu_glaze.dir/kernel.cc.o.d"
+  "/root/repo/src/glaze/machine.cc" "src/glaze/CMakeFiles/fugu_glaze.dir/machine.cc.o" "gcc" "src/glaze/CMakeFiles/fugu_glaze.dir/machine.cc.o.d"
+  "/root/repo/src/glaze/process.cc" "src/glaze/CMakeFiles/fugu_glaze.dir/process.cc.o" "gcc" "src/glaze/CMakeFiles/fugu_glaze.dir/process.cc.o.d"
+  "/root/repo/src/glaze/vbuf.cc" "src/glaze/CMakeFiles/fugu_glaze.dir/vbuf.cc.o" "gcc" "src/glaze/CMakeFiles/fugu_glaze.dir/vbuf.cc.o.d"
+  "/root/repo/src/glaze/vm.cc" "src/glaze/CMakeFiles/fugu_glaze.dir/vm.cc.o" "gcc" "src/glaze/CMakeFiles/fugu_glaze.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/fugu_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fugu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fugu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fugu_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fugu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

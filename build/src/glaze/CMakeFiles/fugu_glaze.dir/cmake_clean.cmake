@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_glaze.dir/kernel.cc.o"
+  "CMakeFiles/fugu_glaze.dir/kernel.cc.o.d"
+  "CMakeFiles/fugu_glaze.dir/machine.cc.o"
+  "CMakeFiles/fugu_glaze.dir/machine.cc.o.d"
+  "CMakeFiles/fugu_glaze.dir/process.cc.o"
+  "CMakeFiles/fugu_glaze.dir/process.cc.o.d"
+  "CMakeFiles/fugu_glaze.dir/vbuf.cc.o"
+  "CMakeFiles/fugu_glaze.dir/vbuf.cc.o.d"
+  "CMakeFiles/fugu_glaze.dir/vm.cc.o"
+  "CMakeFiles/fugu_glaze.dir/vm.cc.o.d"
+  "libfugu_glaze.a"
+  "libfugu_glaze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_glaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fugu_glaze.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_harness.dir/experiment.cc.o"
+  "CMakeFiles/fugu_harness.dir/experiment.cc.o.d"
+  "libfugu_harness.a"
+  "libfugu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

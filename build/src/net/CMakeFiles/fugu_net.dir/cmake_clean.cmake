@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_net.dir/network.cc.o"
+  "CMakeFiles/fugu_net.dir/network.cc.o.d"
+  "libfugu_net.a"
+  "libfugu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

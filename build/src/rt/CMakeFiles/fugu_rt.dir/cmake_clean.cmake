@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_rt.dir/thread.cc.o"
+  "CMakeFiles/fugu_rt.dir/thread.cc.o.d"
+  "libfugu_rt.a"
+  "libfugu_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fugu_sim.dir/event.cc.o"
+  "CMakeFiles/fugu_sim.dir/event.cc.o.d"
+  "CMakeFiles/fugu_sim.dir/log.cc.o"
+  "CMakeFiles/fugu_sim.dir/log.cc.o.d"
+  "CMakeFiles/fugu_sim.dir/stats.cc.o"
+  "CMakeFiles/fugu_sim.dir/stats.cc.o.d"
+  "libfugu_sim.a"
+  "libfugu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fugu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

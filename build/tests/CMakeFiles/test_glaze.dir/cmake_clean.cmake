@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glaze.dir/test_glaze.cc.o"
+  "CMakeFiles/test_glaze.dir/test_glaze.cc.o.d"
+  "test_glaze"
+  "test_glaze.pdb"
+  "test_glaze[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netif.dir/test_netif.cc.o"
+  "CMakeFiles/test_netif.dir/test_netif.cc.o.d"
+  "test_netif"
+  "test_netif.pdb"
+  "test_netif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

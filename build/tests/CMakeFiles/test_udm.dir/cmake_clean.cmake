@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udm.dir/test_udm.cc.o"
+  "CMakeFiles/test_udm.dir/test_udm.cc.o.d"
+  "test_udm"
+  "test_udm.pdb"
+  "test_udm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vbuf.dir/test_vbuf.cc.o"
+  "CMakeFiles/test_vbuf.dir/test_vbuf.cc.o.d"
+  "test_vbuf"
+  "test_vbuf.pdb"
+  "test_vbuf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
