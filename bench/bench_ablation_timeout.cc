@@ -13,26 +13,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_timeout", argc, argv);
+
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
     const Cycle timeouts[] = {250, 500, 1000, 2000, 4000, 16000,
                               64000};
+    const std::size_t npoints = std::size(timeouts);
 
-    std::printf("Ablation: atomicity-timeout preset vs buffering and "
-                "runtime (synth-100 + null, 1%% skew)\n");
-    TablePrinter t({"timeout", "%buffered", "timeouts", "runtime"},
-                   {8, 10, 9, 12});
-    t.printHeader();
-
-    for (Cycle preset : timeouts) {
+    std::vector<RunStats> results(npoints);
+    parallelFor(npoints, [&](std::size_t i) {
         apps::SynthAppConfig scfg;
         scfg.n = 100;
         scfg.groups = 30;
@@ -40,25 +40,43 @@ main()
         // A long handler stall holds the NI in an atomic section, so
         // short presets revoke (buffer) while long ones wait it out.
         scfg.handlerStall = 1500;
-        AppFactory factory = [scfg](unsigned nodes, std::uint64_t seed) {
+        AppFactory factory = [scfg](unsigned nodes,
+                                    std::uint64_t seed) {
             apps::SynthAppConfig c = scfg;
             c.seed = seed;
             return apps::makeSynthApp(nodes, c);
         };
         glaze::MachineConfig mcfg;
         mcfg.nodes = 4;
-        mcfg.ni.atomicityTimeout = preset;
+        mcfg.ni.atomicityTimeout = timeouts[i];
         glaze::GangConfig gcfg;
         gcfg.quantum = 100000;
         gcfg.skew = 0.01;
-        RunStats r = runTrials(mcfg, factory, /*with_null=*/true,
+        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
                                /*gang=*/true, gcfg, trials);
-        t.printRow({TablePrinter::num(static_cast<double>(preset)),
-                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                                : "STUCK",
-                    TablePrinter::num(r.atomicityTimeouts),
-                    TablePrinter::num(
-                        static_cast<double>(r.runtime))});
+    });
+
+    std::printf("Ablation: atomicity-timeout preset vs buffering and "
+                "runtime (synth-100 + null, 1%% skew)\n");
+    TablePrinter t({"timeout", "%buffered", "timeouts", "runtime"},
+                   {8, 10, 9, 12});
+    t.printHeader();
+    report.meta("trials", trials);
+    report.meta("nodes", 4u);
+
+    for (std::size_t i = 0; i < npoints; ++i) {
+        const RunStats &r = results[i];
+        t.printRow(
+            {TablePrinter::num(static_cast<double>(timeouts[i])),
+             r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                         : "STUCK",
+             TablePrinter::num(r.atomicityTimeouts),
+             TablePrinter::num(static_cast<double>(r.runtime))});
+        report.row({{"timeout", std::uint64_t{timeouts[i]}},
+                    {"completed", r.completed},
+                    {"buffered_pct", r.bufferedPct},
+                    {"atomicity_timeouts", r.atomicityTimeouts},
+                    {"runtime", std::uint64_t{r.runtime}}});
     }
     return 0;
 }

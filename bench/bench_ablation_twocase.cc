@@ -11,17 +11,42 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_twocase", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+
+    // Two runs per app (two-case and always-buffered); all of them
+    // are independent, so the whole matrix runs on the worker pool.
+    const auto &names = Workloads::names();
+    std::vector<RunStats> twocase(names.size());
+    std::vector<RunStats> buffered(names.size());
+    parallelFor(names.size() * 2, [&](std::size_t i) {
+        const std::size_t app = i / 2;
+        glaze::GangConfig unused;
+        glaze::MachineConfig cfg;
+        cfg.nodes = 8;
+        if (i % 2 == 0) {
+            twocase[app] = runTrials(cfg, wl.factory(names[app]),
+                                     false, false, unused, 1);
+        } else {
+            cfg.alwaysBuffered = true;
+            cfg.framesPerNode = 256; // buffered mode needs real room
+            buffered[app] = runTrials(cfg, wl.factory(names[app]),
+                                      false, false, unused, 1);
+        }
+    });
 
     std::printf("Ablation: two-case delivery vs always-buffered "
                 "(standalone, 8 nodes)\n");
@@ -29,34 +54,34 @@ main()
                     "%buffered(a/b)"},
                    {8, 12, 15, 9, 14});
     t.printHeader();
+    report.meta("nodes", 8u);
 
-    glaze::GangConfig unused;
-    for (const auto &name : Workloads::names()) {
-        glaze::MachineConfig a;
-        a.nodes = 8;
-        RunStats ra = runTrials(a, wl.factory(name), false, false,
-                                unused, 1);
-        glaze::MachineConfig b = a;
-        b.alwaysBuffered = true;
-        b.framesPerNode = 256; // buffered mode needs real buffer room
-        RunStats rb = runTrials(b, wl.factory(name), false, false,
-                                unused, 1);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunStats &ra = twocase[i];
+        const RunStats &rb = buffered[i];
         if (!ra.completed || !rb.completed) {
-            t.printRow({name, ra.completed ? "ok" : "STUCK",
+            t.printRow({names[i], ra.completed ? "ok" : "STUCK",
                         rb.completed ? "ok" : "STUCK", "-", "-"});
+            report.row({{"app", names[i]},
+                        {"completed", false}});
             continue;
         }
         char pct[32];
         std::snprintf(pct, sizeof(pct), "%.0f%%/%.0f%%",
                       ra.bufferedPct, rb.bufferedPct);
-        t.printRow({name,
+        const double slowdown = static_cast<double>(rb.runtime) /
+                                static_cast<double>(ra.runtime);
+        t.printRow({names[i],
                     TablePrinter::num(static_cast<double>(ra.runtime)),
                     TablePrinter::num(static_cast<double>(rb.runtime)),
-                    TablePrinter::num(static_cast<double>(rb.runtime) /
-                                          static_cast<double>(
-                                              ra.runtime),
-                                      2),
-                    pct});
+                    TablePrinter::num(slowdown, 2), pct});
+        report.row({{"app", names[i]},
+                    {"completed", true},
+                    {"twocase_runtime", std::uint64_t{ra.runtime}},
+                    {"buffered_runtime", std::uint64_t{rb.runtime}},
+                    {"slowdown", slowdown},
+                    {"twocase_buffered_pct", ra.bufferedPct},
+                    {"buffered_buffered_pct", rb.bufferedPct}});
     }
     return 0;
 }

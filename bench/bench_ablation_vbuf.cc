@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
@@ -42,30 +44,47 @@ peakFrames(const glaze::MachineConfig &mcfg, const AppFactory &app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_vbuf", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
     // A pinned system reserves worst-case buffer space per process;
     // 16 pages/process is a modest static reservation.
     constexpr unsigned kPinned = 16;
 
+    const auto &names = Workloads::names();
+    std::vector<double> virt(names.size());
+    std::vector<double> pinned(names.size());
+    parallelFor(names.size() * 2, [&](std::size_t i) {
+        const std::size_t app = i / 2;
+        glaze::MachineConfig cfg;
+        cfg.nodes = 8;
+        if (i % 2 == 0) {
+            virt[app] = peakFrames(cfg, wl.factory(names[app]));
+        } else {
+            cfg.pinnedBufferPages = kPinned;
+            pinned[app] = peakFrames(cfg, wl.factory(names[app]));
+        }
+    });
+
     std::printf("Ablation: virtual vs pinned buffering — peak frames "
                 "in use on any node (pool=64/node)\n");
     TablePrinter t({"App", "virtual (on demand)", "pinned (16/proc)"},
                    {8, 20, 18});
     t.printHeader();
+    report.meta("nodes", 8u);
+    report.meta("pinned_pages_per_proc", kPinned);
 
-    for (const auto &name : Workloads::names()) {
-        glaze::MachineConfig v;
-        v.nodes = 8;
-        const double virt = peakFrames(v, wl.factory(name));
-        glaze::MachineConfig pin = v;
-        pin.pinnedBufferPages = kPinned;
-        const double pinned = peakFrames(pin, wl.factory(name));
-        t.printRow({name,
-                    virt < 0 ? "STUCK" : TablePrinter::num(virt),
-                    pinned < 0 ? "STUCK" : TablePrinter::num(pinned)});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        t.printRow(
+            {names[i],
+             virt[i] < 0 ? "STUCK" : TablePrinter::num(virt[i]),
+             pinned[i] < 0 ? "STUCK" : TablePrinter::num(pinned[i])});
+        report.row({{"app", names[i]},
+                    {"virtual_peak_frames", virt[i]},
+                    {"pinned_peak_frames", pinned[i]}});
     }
     return 0;
 }

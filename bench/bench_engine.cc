@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Pure event-kernel throughput microbench: no simulated machine, just
+ * the EventQueue hot paths every experiment is built from. Measures
+ * host events/sec for:
+ *
+ *  - schedule/fire  : chained one-shot scheduleFn lambdas with a
+ *    realistic (~56-byte) capture, 64 in flight;
+ *  - event/fire     : intrusive Event subclasses self-rescheduling
+ *    from process(), the Cpu::spend shape;
+ *  - schedule/cancel: scheduleFn followed by cancelFn via handles;
+ *  - reschedule     : periodic-event reschedule churn, which also
+ *    exercises stale-entry compaction (the seed kernel's heap grew by
+ *    one dead entry per reschedule, forever).
+ *
+ * Scale with FUGU_BENCH_N (default 2,000,000 events per section,
+ * 200,000 under FUGU_QUICK). Writes BENCH_engine.json with --json.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/benchjson.hh"
+#include "sim/event.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+namespace
+{
+
+double
+seconds(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Fired callable that keeps the chain going. The padding mimics the
+ * simulator's real captures (the network's delivery lambda carries a
+ * whole Packet, ~72 bytes), so the bench measures the capture-carrying
+ * path, not an empty-lambda special case.
+ */
+struct Chain
+{
+    EventQueue *eq;
+    std::uint64_t *remaining;
+    std::uint64_t pad[5];
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        Chain next = *this;
+        next.pad[0] ^= *remaining; // keep the payload live
+        eq->scheduleFn(next, eq->now() + 1, "chain");
+    }
+};
+
+struct Periodic : Event
+{
+    Periodic() : Event("periodic") {}
+
+    void
+    process() override
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        eq->schedule(this, eq->now() + 1);
+    }
+
+    EventQueue *eq = nullptr;
+    std::uint64_t *remaining = nullptr;
+};
+
+struct Section
+{
+    const char *name;
+    std::uint64_t events;
+    double secs;
+    double eps; // events per second
+};
+
+Section
+benchScheduleFire(std::uint64_t n)
+{
+    EventQueue eq;
+    std::uint64_t remaining = n;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr unsigned kInFlight = 64;
+    for (unsigned i = 0; i < kInFlight; ++i)
+        eq.scheduleFn(Chain{&eq, &remaining, {i, 0, 0, 0, 0}},
+                      eq.now() + 1, "chain");
+    eq.run();
+    const double s = seconds(t0);
+    return {"schedule_fire", n, s, n / s};
+}
+
+Section
+benchEventFire(std::uint64_t n)
+{
+    EventQueue eq;
+    std::uint64_t remaining = n;
+    std::vector<Periodic> evs(64);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto &ev : evs) {
+        ev.eq = &eq;
+        ev.remaining = &remaining;
+        eq.schedule(&ev, eq.now() + 1);
+    }
+    eq.run();
+    const double s = seconds(t0);
+    return {"event_fire", n, s, n / s};
+}
+
+Section
+benchScheduleCancel(std::uint64_t n)
+{
+    EventQueue eq;
+    constexpr std::uint64_t kBatch = 1024;
+    const std::uint64_t rounds = n / kBatch;
+    std::vector<decltype(eq.scheduleFn([] {}, 0))> handles(kBatch);
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < kBatch; ++i)
+            handles[i] = eq.scheduleFn([&sink] { ++sink; },
+                                       eq.now() + 1000 + i, "churn");
+        for (std::uint64_t i = 0; i < kBatch; ++i)
+            eq.cancelFn(handles[i]);
+    }
+    eq.run();
+    const double s = seconds(t0);
+    const std::uint64_t pairs = rounds * kBatch;
+    return {"schedule_cancel", pairs, s, pairs / s};
+}
+
+Section
+benchReschedule(std::uint64_t n)
+{
+    EventQueue eq;
+    std::uint64_t remaining = 0; // no self-rescheduling here
+    std::vector<Periodic> evs(16);
+    for (auto &ev : evs) {
+        ev.eq = &eq;
+        ev.remaining = &remaining;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < n; ++i)
+        eq.reschedule(&evs[i % evs.size()], i + 1);
+    eq.run();
+    const double s = seconds(t0);
+    return {"reschedule", n, s, n / s};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchReport report("engine", argc, argv);
+
+    std::uint64_t n = std::getenv("FUGU_QUICK") ? 200000 : 2000000;
+    if (const char *env = std::getenv("FUGU_BENCH_N")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            n = static_cast<std::uint64_t>(v);
+    }
+    report.meta("events_per_section", n);
+    report.meta("in_flight", std::uint64_t{64});
+    report.meta("units", "host events/sec");
+
+    std::printf("Event-kernel throughput (%llu events/section)\n",
+                static_cast<unsigned long long>(n));
+    std::printf("%-16s  %12s  %8s  %14s\n", "section", "events",
+                "secs", "events/sec");
+    std::printf("%-16s  %12s  %8s  %14s\n", "----------------",
+                "------------", "--------", "--------------");
+
+    const Section sections[] = {
+        benchScheduleFire(n),
+        benchEventFire(n),
+        benchScheduleCancel(n),
+        benchReschedule(n),
+    };
+    for (const Section &s : sections) {
+        std::printf("%-16s  %12llu  %8.3f  %14.0f\n", s.name,
+                    static_cast<unsigned long long>(s.events), s.secs,
+                    s.eps);
+        report.row({{"section", s.name},
+                    {"events", s.events},
+                    {"secs", s.secs},
+                    {"events_per_sec", s.eps}});
+    }
+    return 0;
+}

@@ -12,57 +12,81 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig10_buffered_cost", argc, argv);
+
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
     const unsigned groupsTotal = 3000;
 
     const unsigned ns[] = {10, 100, 1000};
     const Cycle extras[] = {0, 100, 200, 400, 800, 1600};
 
+    struct Point
+    {
+        unsigned n;
+        Cycle extra;
+    };
+    std::vector<Point> points;
+    for (unsigned n : ns)
+        for (Cycle extra : extras)
+            points.push_back({n, extra});
+
+    std::vector<RunStats> results(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        apps::SynthAppConfig scfg;
+        scfg.n = points[i].n;
+        scfg.groups = std::max(1u, groupsTotal / points[i].n);
+        scfg.tBetween = 275;
+        scfg.handlerStall = 200;
+        AppFactory factory = [scfg](unsigned nodes,
+                                    std::uint64_t seed) {
+            apps::SynthAppConfig c = scfg;
+            c.seed = seed;
+            return apps::makeSynthApp(nodes, c);
+        };
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 4;
+        mcfg.costs.bufferedPathExtra = points[i].extra;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = 0.01;
+        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
+                               /*gang=*/true, gcfg, trials,
+                               20000000000ull);
+    });
+
     std::printf("Figure 10: %% messages buffered vs buffered-path cost "
                 "(synth-N, T_betw=275, 1%% skew)\n");
     TablePrinter t({"N", "extra", "path-cost", "%buffered"},
                    {6, 7, 10, 10});
     t.printHeader();
+    report.meta("trials", trials);
+    report.meta("nodes", 4u);
 
-    for (unsigned n : ns) {
-        for (Cycle extra : extras) {
-            apps::SynthAppConfig scfg;
-            scfg.n = n;
-            scfg.groups = std::max(1u, groupsTotal / n);
-            scfg.tBetween = 275;
-            scfg.handlerStall = 200;
-            AppFactory factory = [scfg](unsigned nodes,
-                                        std::uint64_t seed) {
-                apps::SynthAppConfig c = scfg;
-                c.seed = seed;
-                return apps::makeSynthApp(nodes, c);
-            };
-            glaze::MachineConfig mcfg;
-            mcfg.nodes = 4;
-            mcfg.costs.bufferedPathExtra = extra;
-            glaze::GangConfig gcfg;
-            gcfg.quantum = 100000;
-            gcfg.skew = 0.01;
-            RunStats r = runTrials(mcfg, factory, /*with_null=*/true,
-                                   /*gang=*/true, gcfg, trials,
-                                   20000000000ull);
-            t.printRow(
-                {TablePrinter::num(n),
-                 TablePrinter::num(static_cast<double>(extra)),
-                 TablePrinter::num(static_cast<double>(
-                     232 + extra)), // base buffered path + extra
-                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                             : "STUCK"});
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunStats &r = results[i];
+        const Cycle extra = points[i].extra;
+        t.printRow({TablePrinter::num(points[i].n),
+                    TablePrinter::num(static_cast<double>(extra)),
+                    TablePrinter::num(static_cast<double>(
+                        232 + extra)), // base buffered path + extra
+                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                                : "STUCK"});
+        report.row({{"n", points[i].n},
+                    {"extra", std::uint64_t{extra}},
+                    {"path_cost", std::uint64_t{232 + extra}},
+                    {"completed", r.completed},
+                    {"buffered_pct", r.bufferedPct}});
     }
     return 0;
 }

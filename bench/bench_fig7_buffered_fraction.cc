@@ -13,15 +13,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig7_buffered_fraction", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
     const unsigned trials =
@@ -29,31 +33,55 @@ main()
 
     const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
 
+    // One sweep point per (app, skew). Every point builds private
+    // machines, so the whole grid runs on the worker pool and rows
+    // print afterwards in sweep order, identical to a serial run.
+    struct Point
+    {
+        std::string app;
+        double skew;
+    };
+    std::vector<Point> points;
+    for (const auto &name : Workloads::names())
+        for (double skew : skews)
+            points.push_back({name, skew});
+
+    std::vector<RunStats> results(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 8;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = points[i].skew;
+        results[i] =
+            runTrials(mcfg, wl.factory(points[i].app),
+                      /*with_null=*/true, /*gang=*/true, gcfg, trials);
+    });
+
     std::printf("Figure 7: %% messages buffered vs schedule skew "
                 "(app + null, gang quantum 100k, %u trial(s))\n",
                 trials);
     TablePrinter t({"App", "skew", "%buffered", "maxpages", "runtime"},
                    {8, 6, 10, 8, 12});
     t.printHeader();
+    report.meta("trials", trials);
+    report.meta("nodes", 8u);
 
-    for (const auto &name : Workloads::names()) {
-        for (double skew : skews) {
-            glaze::MachineConfig mcfg;
-            mcfg.nodes = 8;
-            glaze::GangConfig gcfg;
-            gcfg.quantum = 100000;
-            gcfg.skew = skew;
-            RunStats r =
-                runTrials(mcfg, wl.factory(name), /*with_null=*/true,
-                          /*gang=*/true, gcfg, trials);
-            t.printRow({name, TablePrinter::num(skew * 100, 0) + "%",
-                        r.completed
-                            ? TablePrinter::num(r.bufferedPct, 2)
-                            : "STUCK",
-                        TablePrinter::num(r.maxVbufPages),
-                        TablePrinter::num(
-                            static_cast<double>(r.runtime))});
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunStats &r = results[i];
+        const double skew = points[i].skew;
+        t.printRow({points[i].app,
+                    TablePrinter::num(skew * 100, 0) + "%",
+                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                                : "STUCK",
+                    TablePrinter::num(r.maxVbufPages),
+                    TablePrinter::num(static_cast<double>(r.runtime))});
+        report.row({{"app", points[i].app},
+                    {"skew", skew},
+                    {"completed", r.completed},
+                    {"buffered_pct", r.bufferedPct},
+                    {"max_vbuf_pages", r.maxVbufPages},
+                    {"runtime", std::uint64_t{r.runtime}}});
     }
     return 0;
 }

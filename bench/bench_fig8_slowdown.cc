@@ -12,53 +12,89 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig8_slowdown", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
 
     const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
 
+    // The whole (app, skew) grid runs on the worker pool; the
+    // normalization to each app's zero-skew baseline happens while
+    // printing, after all runtimes are in.
+    struct Point
+    {
+        std::string app;
+        double skew;
+    };
+    std::vector<Point> points;
+    for (const auto &name : Workloads::names())
+        for (double skew : skews)
+            points.push_back({name, skew});
+
+    std::vector<RunStats> results(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 8;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = points[i].skew;
+        results[i] =
+            runTrials(mcfg, wl.factory(points[i].app),
+                      /*with_null=*/true, /*gang=*/true, gcfg, trials);
+    });
+
     std::printf("Figure 8: relative runtime vs schedule skew "
                 "(normalized to zero-skew multiprogrammed run)\n");
     TablePrinter t({"App", "skew", "rel.runtime", "%buffered"},
                    {8, 6, 12, 10});
     t.printHeader();
+    report.meta("trials", trials);
+    report.meta("nodes", 8u);
 
-    for (const auto &name : Workloads::names()) {
-        double base = 0;
-        for (double skew : skews) {
-            glaze::MachineConfig mcfg;
-            mcfg.nodes = 8;
-            glaze::GangConfig gcfg;
-            gcfg.quantum = 100000;
-            gcfg.skew = skew;
-            RunStats r =
-                runTrials(mcfg, wl.factory(name), /*with_null=*/true,
-                          /*gang=*/true, gcfg, trials);
-            if (!r.completed) {
-                t.printRow({name, TablePrinter::num(skew * 100) + "%",
-                            "STUCK", "-"});
-                continue;
-            }
-            if (skew == 0.0)
-                base = static_cast<double>(r.runtime);
-            t.printRow(
-                {name, TablePrinter::num(skew * 100) + "%",
-                 TablePrinter::num(
-                     base > 0 ? static_cast<double>(r.runtime) / base
-                              : 1.0,
-                     3),
-                 TablePrinter::num(r.bufferedPct, 2)});
+    std::string curApp;
+    double base = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string &name = points[i].app;
+        const double skew = points[i].skew;
+        const RunStats &r = results[i];
+        if (name != curApp) { // first (zero-skew) row of a new app
+            curApp = name;
+            base = 0;
         }
+        if (!r.completed) {
+            t.printRow({name, TablePrinter::num(skew * 100) + "%",
+                        "STUCK", "-"});
+            report.row({{"app", name},
+                        {"skew", skew},
+                        {"completed", false}});
+            continue;
+        }
+        if (skew == 0.0)
+            base = static_cast<double>(r.runtime);
+        const double rel =
+            base > 0 ? static_cast<double>(r.runtime) / base : 1.0;
+        t.printRow({name, TablePrinter::num(skew * 100) + "%",
+                    TablePrinter::num(rel, 3),
+                    TablePrinter::num(r.bufferedPct, 2)});
+        report.row({{"app", name},
+                    {"skew", skew},
+                    {"completed", true},
+                    {"rel_runtime", rel},
+                    {"buffered_pct", r.bufferedPct},
+                    {"runtime", std::uint64_t{r.runtime}}});
     }
     return 0;
 }

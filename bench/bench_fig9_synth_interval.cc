@@ -13,54 +13,78 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig9_synth_interval", argc, argv);
+
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
     const unsigned groupsTotal = 4000; // total requests per node
 
     const unsigned ns[] = {10, 100, 1000};
     const Cycle intervals[] = {250, 300, 350, 400, 500, 700, 1000};
 
+    struct Point
+    {
+        unsigned n;
+        Cycle betw;
+    };
+    std::vector<Point> points;
+    for (unsigned n : ns)
+        for (Cycle betw : intervals)
+            points.push_back({n, betw});
+
+    std::vector<RunStats> results(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        apps::SynthAppConfig scfg;
+        scfg.n = points[i].n;
+        scfg.groups = std::max(1u, groupsTotal / points[i].n);
+        scfg.tBetween = points[i].betw;
+        scfg.handlerStall = 200; // ~290 incl. receive overhead
+        AppFactory factory = [scfg](unsigned nodes,
+                                    std::uint64_t seed) {
+            apps::SynthAppConfig c = scfg;
+            c.seed = seed;
+            return apps::makeSynthApp(nodes, c);
+        };
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 4;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = 0.01;
+        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
+                               /*gang=*/true, gcfg, trials);
+    });
+
     std::printf("Figure 9: %% messages buffered vs send interval "
                 "(synth-N, 4 nodes, 1%% skew, T_hand=290)\n");
     TablePrinter t({"N", "T_betw", "%buffered", "timeouts"},
                    {6, 8, 10, 9});
     t.printHeader();
+    report.meta("trials", trials);
+    report.meta("nodes", 4u);
 
-    for (unsigned n : ns) {
-        for (Cycle betw : intervals) {
-            apps::SynthAppConfig scfg;
-            scfg.n = n;
-            scfg.groups = std::max(1u, groupsTotal / n);
-            scfg.tBetween = betw;
-            scfg.handlerStall = 200; // ~290 incl. receive overhead
-            AppFactory factory = [scfg](unsigned nodes,
-                                        std::uint64_t seed) {
-                apps::SynthAppConfig c = scfg;
-                c.seed = seed;
-                return apps::makeSynthApp(nodes, c);
-            };
-            glaze::MachineConfig mcfg;
-            mcfg.nodes = 4;
-            glaze::GangConfig gcfg;
-            gcfg.quantum = 100000;
-            gcfg.skew = 0.01;
-            RunStats r = runTrials(mcfg, factory, /*with_null=*/true,
-                                   /*gang=*/true, gcfg, trials);
-            t.printRow({TablePrinter::num(n),
-                        TablePrinter::num(static_cast<double>(betw)),
-                        r.completed
-                            ? TablePrinter::num(r.bufferedPct, 2)
-                            : "STUCK",
-                        TablePrinter::num(r.atomicityTimeouts)});
-        }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunStats &r = results[i];
+        t.printRow(
+            {TablePrinter::num(points[i].n),
+             TablePrinter::num(static_cast<double>(points[i].betw)),
+             r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                         : "STUCK",
+             TablePrinter::num(r.atomicityTimeouts)});
+        report.row({{"n", points[i].n},
+                    {"t_between", std::uint64_t{points[i].betw}},
+                    {"completed", r.completed},
+                    {"buffered_pct", r.bufferedPct},
+                    {"atomicity_timeouts", r.atomicityTimeouts}});
     }
     return 0;
 }

@@ -11,36 +11,52 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("pages", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+
+    const auto &names = Workloads::names();
+    std::vector<RunStats> results(names.size());
+    parallelFor(names.size(), [&](std::size_t i) {
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 8;
+        glaze::GangConfig gcfg;
+        gcfg.quantum = 100000;
+        gcfg.skew = 0.4;
+        results[i] = runTrials(mcfg, wl.factory(names[i]),
+                               /*with_null=*/true, /*gang=*/true, gcfg,
+                               /*trials=*/3);
+    });
 
     std::printf("Physical buffering pages under adverse scheduling "
                 "(skew 40%%; paper: < 7 pages/node)\n");
     TablePrinter t({"App", "max vbuf pages/node", "%buffered"},
                    {8, 20, 10});
     t.printHeader();
+    report.meta("skew", 0.4);
+    report.meta("nodes", 8u);
 
-    for (const auto &name : Workloads::names()) {
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 8;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = 0.4;
-        RunStats r = runTrials(mcfg, wl.factory(name),
-                               /*with_null=*/true, /*gang=*/true, gcfg,
-                               /*trials=*/3);
-        t.printRow({name, TablePrinter::num(r.maxVbufPages),
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunStats &r = results[i];
+        t.printRow({names[i], TablePrinter::num(r.maxVbufPages),
                     r.completed ? TablePrinter::num(r.bufferedPct, 2)
                                 : "STUCK"});
+        report.row({{"app", names[i]},
+                    {"completed", r.completed},
+                    {"max_vbuf_pages", r.maxVbufPages},
+                    {"buffered_pct", r.bufferedPct}});
     }
     return 0;
 }

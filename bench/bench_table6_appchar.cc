@@ -15,7 +15,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "harness/benchjson.hh"
 #include "harness/experiment.hh"
 
 using namespace fugu;
@@ -44,10 +46,23 @@ constexpr PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table6_appchar", argc, argv);
+
     Workloads wl;
     wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+
+    constexpr std::size_t kApps = std::size(kPaper);
+    std::vector<RunStats> results(kApps);
+    parallelFor(kApps, [&](std::size_t i) {
+        glaze::MachineConfig mcfg;
+        mcfg.nodes = 8;
+        glaze::GangConfig unused;
+        results[i] = runTrials(mcfg, wl.factory(kPaper[i].name),
+                               /*with_null=*/false, /*gang=*/false,
+                               unused, /*trials=*/1);
+    });
 
     std::printf("Table 6: application characteristics, standalone on 8 "
                 "nodes%s\n",
@@ -57,18 +72,16 @@ main()
                     "paper: cycles/msgs/T_betw/T_hand"},
                    {8, 12, 10, 8, 8, 34});
     t.printHeader();
+    report.meta("paper_scale", wl.paperScale);
+    report.meta("nodes", 8u);
 
-    glaze::MachineConfig mcfg;
-    mcfg.nodes = 8;
-    glaze::GangConfig unused;
-
-    for (const PaperRow &row : kPaper) {
-        RunStats r = runTrials(mcfg, wl.factory(row.name),
-                               /*with_null=*/false, /*gang=*/false,
-                               unused, /*trials=*/1);
+    for (std::size_t i = 0; i < kApps; ++i) {
+        const PaperRow &row = kPaper[i];
+        const RunStats &r = results[i];
         if (!r.completed) {
             t.printRow({row.name, "DID NOT COMPLETE", "-", "-", "-",
                         "-"});
+            report.row({{"app", row.name}, {"completed", false}});
             continue;
         }
         char paper[80];
@@ -80,6 +93,16 @@ main()
                     TablePrinter::num(static_cast<double>(r.sent)),
                     TablePrinter::num(r.tBetween),
                     TablePrinter::num(r.tHand), paper});
+        report.row({{"app", row.name},
+                    {"completed", true},
+                    {"cycles", std::uint64_t{r.runtime}},
+                    {"messages", r.sent},
+                    {"t_between", r.tBetween},
+                    {"t_hand", r.tHand},
+                    {"paper_cycles", row.cycles},
+                    {"paper_messages", row.msgs},
+                    {"paper_t_between", row.tbetw},
+                    {"paper_t_hand", row.thand}});
     }
     return 0;
 }

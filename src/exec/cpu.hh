@@ -251,7 +251,7 @@ class Cpu
         ContextPtr ctx;
         Cycle start = 0;
         Cycle end = 0;
-        std::weak_ptr<Event::Slot> endEv;
+        EventHandle endEv;
     };
 
     struct UserTimer
@@ -259,7 +259,7 @@ class Cpu
         bool active = false;
         Cycle deadline = 0; ///< in user-cycle time (see userCycles())
         std::function<void()> cb;
-        std::weak_ptr<Event::Slot> ev; // scheduled firing, if any
+        EventHandle ev; // scheduled firing, if any
     };
 
     /** Context finished (called from final_suspend). */

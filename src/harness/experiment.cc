@@ -1,8 +1,11 @@
 #include "harness/experiment.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "sim/log.hh"
 
@@ -62,18 +65,84 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     return out;
 }
 
+namespace
+{
+
+/** Set while executing inside a runMany worker: sub-jobs go serial. */
+thread_local bool inWorker_ = false;
+
+} // namespace
+
+unsigned
+workerCount()
+{
+    if (const char *env = std::getenv("FUGU_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    const unsigned nthreads =
+        static_cast<unsigned>(std::min<std::size_t>(workerCount(), n));
+    if (inWorker_ || nthreads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        inWorker_ = true;
+        for (std::size_t i; (i = next.fetch_add(1)) < n;)
+            fn(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads - 1);
+    for (unsigned t = 1; t < nthreads; ++t)
+        pool.emplace_back(work);
+    work(); // the calling thread participates
+    for (auto &th : pool)
+        th.join();
+    inWorker_ = false; // work() set it on the calling thread too
+}
+
+std::vector<RunStats>
+runMany(std::vector<JobFn> jobs)
+{
+    std::vector<RunStats> out(jobs.size());
+    parallelFor(jobs.size(),
+                [&](std::size_t i) { out[i] = jobs[i](); });
+    return out;
+}
+
 RunStats
 runTrials(const MachineConfig &mcfg, const AppFactory &app,
           bool with_null, bool gang, const GangConfig &gcfg,
           unsigned trials, Cycle max_cycles)
 {
     fugu_assert(trials >= 1);
-    RunStats acc;
-    acc.completed = true;
+    std::vector<JobFn> jobs;
+    jobs.reserve(trials);
     for (unsigned t = 0; t < trials; ++t) {
         MachineConfig cfg = mcfg;
         cfg.seed = mcfg.seed + 1000003ull * t;
-        RunStats r = runJob(cfg, app, with_null, gang, gcfg, max_cycles);
+        jobs.push_back([cfg, &app, with_null, gang, gcfg, max_cycles] {
+            return runJob(cfg, app, with_null, gang, gcfg, max_cycles);
+        });
+    }
+    std::vector<RunStats> results = runMany(std::move(jobs));
+
+    // Accumulate in seed order so the averages are bit-identical to a
+    // serial run (including the partial sums a failed run leaves).
+    RunStats acc;
+    acc.completed = true;
+    for (unsigned t = 0; t < trials; ++t) {
+        const RunStats &r = results[t];
         if (!r.completed) {
             acc.completed = false;
             return acc;

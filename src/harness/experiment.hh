@@ -44,11 +44,46 @@ RunStats runJob(glaze::MachineConfig mcfg, const AppFactory &app,
                 bool with_null, bool gang, glaze::GangConfig gcfg,
                 Cycle max_cycles = 100000000000ull);
 
-/** Average of @p trials runs differing only in seed. */
+/**
+ * Average of @p trials runs differing only in seed. Trials run in
+ * parallel on the worker pool (each builds its own machine and event
+ * queue), but results are accumulated in seed order, so the returned
+ * stats are bit-identical to a serial run.
+ */
 RunStats runTrials(const glaze::MachineConfig &mcfg,
                    const AppFactory &app, bool with_null, bool gang,
                    const glaze::GangConfig &gcfg, unsigned trials,
                    Cycle max_cycles = 100000000000ull);
+
+/**
+ * Worker threads used by runMany/runTrials: the FUGU_THREADS
+ * environment variable if set, else the hardware concurrency.
+ * FUGU_THREADS=1 forces fully serial execution.
+ */
+unsigned workerCount();
+
+/**
+ * Invoke @p fn(i) for every i in [0, n) on the worker pool. Calls for
+ * distinct indices may run concurrently, so @p fn must only touch
+ * per-index state (e.g. slot i of a pre-sized result vector). Nested
+ * calls run serially on the calling worker, keeping the total thread
+ * count bounded; FUGU_THREADS=1 forces fully serial execution.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/** An independent experiment: builds its own machine when invoked. */
+using JobFn = std::function<RunStats()>;
+
+/**
+ * Run independent jobs on a thread pool and return their results in
+ * input order. Jobs share no mutable state (each builds a private
+ * Machine/EventQueue), so the result vector is bit-identical to
+ * running the jobs serially. Nested calls — a job that itself calls
+ * runMany or runTrials — run their sub-jobs serially on the calling
+ * worker, keeping the total thread count bounded.
+ */
+std::vector<RunStats> runMany(std::vector<JobFn> jobs);
 
 /**
  * The named workload set used by the Table 6 / Figure 7-8

@@ -19,7 +19,7 @@ Network::Stats::Stats(StatGroup *parent, const std::string &name)
 Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
                  StatGroup *stat_parent)
     : stats(stat_parent, name), eq_(eq), cfg_(cfg),
-      name_(std::move(name))
+      name_(std::move(name)), arriveName_(name_ + "-arrive")
 {
     fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
     fugu_assert(cfg_.channelCapacityWords >= kMaxMessageWords,
@@ -92,7 +92,7 @@ Network::send(Packet pkt)
             arrived_[dst].push_back(std::move(p));
             drain(dst);
         },
-        ready, name_ + "-arrive");
+        ready, arriveName_.c_str());
 }
 
 void

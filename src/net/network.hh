@@ -145,6 +145,7 @@ class Network
     EventQueue &eq_;
     NetworkConfig cfg_;
     std::string name_;
+    std::string arriveName_; // precomputed: scheduleFn is per-packet
     std::map<ChannelKey, Channel> channels_;
     std::vector<NetSink *> sinks_;
 

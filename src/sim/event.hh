@@ -2,22 +2,44 @@
  * @file
  * Discrete-event simulation kernel: Event and EventQueue.
  *
- * The queue is a min-heap ordered by (cycle, insertion sequence), so
- * events at the same cycle fire in schedule order, which makes runs
- * fully deterministic. Cancellation is supported through per-schedule
- * "slots": descheduling invalidates the slot, and stale heap entries
- * are skipped when popped. An Event may be destroyed while scheduled;
- * its destructor deschedules it safely.
+ * Events fire in (cycle, insertion sequence) order, so events at the
+ * same cycle fire in schedule order, which makes runs fully
+ * deterministic. The queue is a two-band calendar queue:
+ *
+ *  - Near band: a ring of kRingSize per-cycle FIFO buckets covering
+ *    [ringBase, ringBase + kRingSize) with a two-level occupancy
+ *    bitmap. Nearly all simulator traffic (coroutine resumes, spend
+ *    ends, network arrivals) schedules a few cycles out, so both
+ *    schedule and pop are O(1) with zero comparisons.
+ *  - Far band: a 4-ary min-heap. When the clock crosses into a new
+ *    window, pending heap entries inside it migrate to the ring in
+ *    (cycle, seq) order, which keeps firing order identical to a
+ *    single global priority queue.
+ *
+ * Cancellation is lazy: descheduling frees the event's slot in a
+ * generation-counted slot pool and the stale ring/heap entry is
+ * skipped when reached — or swept out wholesale when stale entries
+ * start to dominate, so memory stays proportional to live events even
+ * under unbounded reschedule churn. An Event may be destroyed while
+ * scheduled; its destructor deschedules it safely.
+ *
+ * The scheduling fast path is allocation-free in steady state:
+ * one-shot callables (scheduleFn) are stored inline in pooled
+ * LambdaEvents — only a callable larger than SmallFn::kInlineBytes
+ * falls back to the heap — and cancellation handles are plain
+ * {slot, generation} pairs instead of shared_ptr control blocks.
  */
 
 #ifndef FUGU_SIM_EVENT_HH
 #define FUGU_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -27,6 +49,9 @@ namespace fugu
 
 class EventQueue;
 
+/** Sentinel slot index meaning "not scheduled". */
+inline constexpr std::uint32_t kNoEventSlot = 0xffffffffu;
+
 /**
  * An occurrence scheduled at a future cycle. Subclass and implement
  * process(), or use EventQueue::scheduleFn for one-shot lambdas.
@@ -34,15 +59,6 @@ class EventQueue;
 class Event
 {
   public:
-    /**
-     * Cancellation slot for a scheduled occurrence. Holders keep a
-     * weak_ptr (an EventHandle) so stale handles are harmless.
-     */
-    struct Slot
-    {
-        Event *event = nullptr; // null once descheduled
-    };
-
     explicit Event(std::string name) : name_(std::move(name)) {}
     virtual ~Event();
 
@@ -53,7 +69,7 @@ class Event
     virtual void process() = 0;
 
     const std::string &name() const { return name_; }
-    bool scheduled() const { return slot_ != nullptr; }
+    bool scheduled() const { return slot_ != kNoEventSlot; }
 
     /** Cycle this event will fire at. Only valid while scheduled. */
     Cycle when() const { return when_; }
@@ -63,35 +79,140 @@ class Event
 
     std::string name_;
     Cycle when_ = 0;
-    std::shared_ptr<Slot> slot_; // non-null while scheduled
+    std::uint32_t slot_ = kNoEventSlot; // index into queue's slot pool
     EventQueue *queue_ = nullptr;
 };
 
-/** Handle to a scheduleFn occurrence; pass to EventQueue::cancelFn. */
-using EventHandle = std::weak_ptr<Event::Slot>;
+/**
+ * Handle to a scheduleFn occurrence; pass to EventQueue::cancelFn.
+ * A {slot, generation} pair: once the occurrence fires or is
+ * cancelled the slot's generation advances, so stale handles are
+ * harmless no-ops. Default-constructed handles are inert.
+ */
+struct EventHandle
+{
+    std::uint32_t slot = kNoEventSlot;
+    std::uint32_t gen = 0;
+};
 
-/** Convenience event wrapping a callable; used by scheduleFn. */
+/**
+ * Type-erased move-only callable with inline storage. Callables up to
+ * kInlineBytes live in the object itself; larger ones fall back to a
+ * single heap allocation. Sized so every scheduleFn lambda in the
+ * simulator (the largest captures a whole net::Packet) stays inline.
+ */
+class SmallFn
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 96;
+
+    SmallFn() = default;
+    ~SmallFn() { reset(); }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    template <typename F>
+    void
+    assign(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+            fire_ = [](void *p) {
+                Fn *f = static_cast<Fn *>(p);
+                (*f)();
+                f->~Fn();
+            };
+        } else {
+            auto *obj = new Fn(std::forward<F>(fn));
+            ::new (static_cast<void *>(buf_)) Fn *(obj);
+            invoke_ = [](void *p) { (**static_cast<Fn **>(p))(); };
+            destroy_ = [](void *p) { delete *static_cast<Fn **>(p); };
+            fire_ = [](void *p) {
+                Fn *f = *static_cast<Fn **>(p);
+                (*f)();
+                delete f;
+            };
+        }
+    }
+
+    void operator()() { invoke_(buf_); }
+
+    /**
+     * Invoke the callable and destroy it, leaving the object empty —
+     * the one-shot fire path, a single indirect call. The callable
+     * still occupies buf_ while running: the owner must not reuse
+     * this SmallFn until the call returns (the event pool releases
+     * the event only afterwards).
+     */
+    void
+    fireAndReset()
+    {
+        auto fire = fire_;
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+        fire_ = nullptr;
+        fire(buf_);
+    }
+
+    void
+    reset()
+    {
+        if (destroy_)
+            destroy_(buf_);
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+        fire_ = nullptr;
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    void (*fire_)(void *) = nullptr;
+};
+
+/**
+ * Convenience event wrapping a callable; used by scheduleFn. The
+ * queue keeps fired LambdaEvents on a freelist and reuses them, so
+ * steady-state scheduleFn traffic does not allocate.
+ */
 class LambdaEvent : public Event
 {
   public:
-    LambdaEvent(std::string name, std::function<void()> fn)
-        : Event(std::move(name)), fn_(std::move(fn))
-    {}
+    explicit LambdaEvent(std::string name) : Event(std::move(name)) {}
+
+    template <typename F>
+    LambdaEvent(std::string name, F &&fn) : Event(std::move(name))
+    {
+        fn_.assign(std::forward<F>(fn));
+    }
 
     void process() override { fn_(); }
 
   private:
-    std::function<void()> fn_;
+    friend class EventQueue;
+
+    SmallFn fn_;
+    const char *namePtr_ = nullptr; // last name set (pointer identity)
 };
 
 /**
  * The global ordered queue of pending events plus the current cycle.
- * One EventQueue drives an entire simulated machine.
+ * One EventQueue drives an entire simulated machine. EventQueues are
+ * independent: separate queues may run on separate threads.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -111,16 +232,21 @@ class EventQueue
     void deschedule(Event *ev);
 
     /**
-     * Schedule a one-shot callable. The underlying event is owned by
-     * the queue and destroyed after firing.
+     * Schedule a one-shot callable on a pooled LambdaEvent.
      * @return handle that can be passed to cancelFn.
      */
-    std::weak_ptr<Event::Slot> scheduleFn(std::function<void()> fn,
-                                          Cycle when,
-                                          std::string name = "lambda");
+    template <typename F>
+    EventHandle
+    scheduleFn(F &&fn, Cycle when, const char *name = "lambda")
+    {
+        LambdaEvent *ev = acquireLambda(name);
+        ev->fn_.assign(std::forward<F>(fn));
+        push(ev, when, /*owned=*/true);
+        return EventHandle{ev->slot_, slots_[ev->slot_].gen};
+    }
 
     /** Cancel a scheduleFn event via its handle. No-op if fired. */
-    void cancelFn(const std::weak_ptr<Event::Slot> &handle);
+    void cancelFn(const EventHandle &handle);
 
     /**
      * Execute the next pending event, advancing the clock.
@@ -130,39 +256,133 @@ class EventQueue
 
     /**
      * Run until the queue empties, @p until is passed, or
-     * @p max_events have been processed.
+     * @p max_events have been processed. The clock advances to
+     * @p until only when the run was not cut short by @p max_events.
      * @return number of events processed.
      */
     std::uint64_t run(Cycle until = kMaxCycle,
                       std::uint64_t max_events = ~std::uint64_t(0));
 
-    bool empty() const;
+    bool empty() const { return live_ == 0; }
 
     /** Number of live (non-cancelled) pending events. */
     std::size_t pending() const { return live_; }
 
+    /** Ring + heap entries currently held, live + stale (for tests). */
+    std::size_t heapSize() const { return heap_.size() + ringCount_; }
+
   private:
+    /** Near-band window: covers this many cycles from ringBase_. */
+    static constexpr unsigned kRingBits = 10;
+    static constexpr unsigned kRingSize = 1u << kRingBits;
+    static constexpr unsigned kOccWords = kRingSize / 64;
+
+    struct SlotRec
+    {
+        Event *event = nullptr;
+        std::uint32_t gen = 1;   // advanced on every free
+        std::uint32_t nextFree = kNoEventSlot;
+        bool owned = false;      // queue owns the Event (scheduleFn)
+        bool inRing = false;     // entry lives in a ring bucket
+    };
+
+    /** Ring bucket entry; the cycle is implied by the bucket. */
+    struct BucketEntry
+    {
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
     struct HeapEntry
     {
         Cycle when;
         std::uint64_t seq;
-        std::shared_ptr<Event::Slot> slot;
-        bool owned; // queue owns the Event (scheduleFn)
-
-        bool
-        operator>(const HeapEntry &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
+    /** The next event to fire, located by findNext(). */
+    struct NextEvent
+    {
+        Cycle when;
+        bool fromRing;
+        std::uint32_t bucket;
+    };
+
+    /**
+     * Heap order: a fires before b. The heap is 4-ary: half the
+     * levels of a binary heap, and all four children of a node are
+     * contiguous, which speeds up the pop-heavy migration path.
+     */
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    void heapSiftUp(std::size_t i);
+    void heapSiftDown(std::size_t i);
+    void heapPush(HeapEntry e);
+    void heapPopFront();
+    void heapRebuild();
+
+    bool
+    entryLive(const HeapEntry &e) const
+    {
+        return slots_[e.slot].gen == e.gen;
+    }
+
     void push(Event *ev, Cycle when, bool owned);
+    std::uint32_t allocSlot(Event *ev, bool owned);
+    void freeSlot(std::uint32_t idx);
+
+    /**
+     * Locate the next live event (dropping stale entries on the way)
+     * without firing it. @return false if the queue is empty.
+     */
+    bool findNext(NextEvent &nx);
+
+    /** Pop and process the event located by findNext(). */
+    void fireNext(const NextEvent &nx);
+
+    /** Unschedule slot @p idx and run its event. */
+    void fireSlot(std::uint32_t idx);
+
+    /**
+     * Realign the ring window to now_ (after firing a far-band event)
+     * and migrate heap entries that now fall inside it.
+     */
+    void migrateWindow();
+
+    /** Pop stale (cancelled/rescheduled) entries off the heap top. */
+    void skipStale();
+
+    /** Sweep dead entries when they dominate live ones. */
+    void compactIfNeeded();
+    void ringSweepIfNeeded();
+
+    LambdaEvent *acquireLambda(const char *name);
+    void releaseLambda(LambdaEvent *ev);
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::size_t live_ = 0;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap_;
+    std::size_t stale_ = 0;     // dead entries still in heap_
+    std::size_t ringStale_ = 0; // dead entries still in ring buckets
+    std::size_t ringCount_ = 0; // all entries held in ring buckets
+    std::vector<SlotRec> slots_;
+    std::uint32_t freeSlotHead_ = kNoEventSlot;
+
+    Cycle ringBase_ = 0; // window start, kRingSize-aligned, <= now_
+    std::vector<std::vector<BucketEntry>> ring_; // kRingSize buckets
+    std::vector<std::uint32_t> ringHead_; // consumed prefix per bucket
+    std::uint64_t occ_[kOccWords] = {};   // non-empty-bucket bitmap
+
+    std::vector<HeapEntry> heap_;
+    // Declared after slots_/ring_/heap_ so pooled events (whose
+    // destructors deschedule) are destroyed first at queue teardown.
+    std::vector<std::unique_ptr<LambdaEvent>> lambdaStore_;
+    std::vector<LambdaEvent *> lambdaFree_;
 };
 
 } // namespace fugu

@@ -39,6 +39,11 @@ StatGroup::StatGroup(std::string name, StatGroup *parent)
 
 StatGroup::~StatGroup()
 {
+    // Children may outlive this group (teardown order is not guaranteed
+    // to be leaf-first); orphan them so their destructors do not call
+    // back into freed memory.
+    for (StatGroup *g : children_)
+        g->parent_ = nullptr;
     if (parent_)
         parent_->unregisterChild(this);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
 #include "sim/event.hh"
@@ -181,6 +182,136 @@ TEST_F(EventTest, DoubleSchedulePanics)
     eq.schedule(&a, 10);
     EXPECT_THROW(eq.schedule(&a, 20), SimError);
     eq.deschedule(&a);
+}
+
+TEST_F(EventTest, RunMaxEventsStopsEarlyAndKeepsClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 10);
+    eq.scheduleFn([&] { ++fired; }, 20);
+    eq.scheduleFn([&] { ++fired; }, 30);
+    // Cut short by max_events: the clock must stay at the last fired
+    // event, not jump to the horizon.
+    EXPECT_EQ(eq.run(100, 2), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Resuming with the same horizon drains the rest and then the
+    // clock advances to the horizon.
+    EXPECT_EQ(eq.run(100), 1u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST_F(EventTest, RunMaxEventsExactlyAtHorizonBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 10);
+    eq.scheduleFn([&] { ++fired; }, 99);
+    // max_events == number of events before the horizon: the budget
+    // runs out first, so the clock stays on the last event.
+    EXPECT_EQ(eq.run(50, 1), 1u);
+    EXPECT_EQ(eq.now(), 10u);
+    // No events left before the horizon: clock advances to it.
+    EXPECT_EQ(eq.run(50, 1), 0u);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST_F(EventTest, StaleHandleOfReusedSlotDoesNotCancel)
+{
+    EventQueue eq;
+    int a = 0, b = 0;
+    auto ha = eq.scheduleFn([&] { ++a; }, 10);
+    eq.cancelFn(ha);
+    // The freed slot is reused immediately; the old handle must be
+    // dead (generation mismatch), not alias the new event.
+    auto hb = eq.scheduleFn([&] { ++b; }, 10);
+    eq.cancelFn(ha); // stale: must be a no-op
+    eq.run();
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    (void)hb;
+}
+
+TEST_F(EventTest, FarFutureEventsCrossTheRingWindow)
+{
+    // Events beyond the near-band window park in the overflow heap
+    // and migrate as the window advances; order must be unaffected.
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log), c("c", &log),
+        d("d", &log);
+    eq.schedule(&b, 5000);
+    eq.schedule(&a, 3);
+    eq.schedule(&c, 200000);
+    eq.schedule(&d, 5000); // same cycle as b, scheduled later
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "d", "c"}));
+    EXPECT_EQ(eq.now(), 200000u);
+}
+
+TEST_F(EventTest, SameCycleOrderAcrossBandMigration)
+{
+    // 'a' enters the far band; a filler fire advances the window so
+    // 'a' migrates to the ring; 'b' then schedules at the same cycle
+    // directly into the ring. Schedule order must still hold.
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", &log), b("b", &log), f("f", &log);
+    eq.schedule(&a, 2000);
+    eq.schedule(&f, 1990);
+    eq.run(1995);
+    eq.schedule(&b, 2000);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"f", "a", "b"}));
+}
+
+TEST_F(EventTest, ScheduleAfterIdleAdvancePastWindow)
+{
+    // run(until) may move the clock far beyond the current ring
+    // window without firing anything; scheduling afterwards must
+    // still work and fire at the right time.
+    EventQueue eq;
+    eq.run(50000);
+    EXPECT_EQ(eq.now(), 50000u);
+    int fired = 0;
+    eq.scheduleFn([&] { ++fired; }, 50001);
+    eq.scheduleFn([&] { ++fired; }, 123456);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 123456u);
+}
+
+TEST_F(EventTest, RescheduleChurnKeepsQueueBounded)
+{
+    // Lazy cancellation leaves dead entries behind; the sweeps must
+    // keep total held entries O(live), not O(reschedules). The seed
+    // kernel grew its heap by one dead entry per reschedule forever.
+    EventQueue eq;
+    std::vector<std::string> log;
+    std::deque<RecordingEvent> evs; // Event is pinned: no moves
+    for (int i = 0; i < 16; ++i)
+        evs.emplace_back("e", &log);
+
+    // Near-band churn: targets stay inside the ring window.
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        eq.reschedule(&evs[i % evs.size()], eq.now() + 1 + i % 500);
+    EXPECT_LT(eq.heapSize(), 16u + 200u);
+
+    // Far-band churn: targets park in the overflow heap.
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        eq.reschedule(&evs[i % evs.size()], eq.now() + 100000 + i);
+    EXPECT_LT(eq.heapSize(), 16u + 200u);
+
+    for (auto &ev : evs)
+        eq.deschedule(&ev);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
 }
 
 TEST_F(EventTest, PendingCountsLiveEvents)

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Allocation tests for the event kernel: after warm-up, the
+ * schedule/fire, schedule/cancel and reschedule hot paths must not
+ * touch the global heap at all — pooled LambdaEvents, inline SmallFn
+ * storage, and recycled slot/bucket/heap capacity cover steady state.
+ *
+ * The global operator new/delete are replaced with counting versions;
+ * each test warms the queue up (growing pools and vector capacity),
+ * snapshots the allocation counter, runs the steady-state loop, and
+ * asserts the counter did not move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/event.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_newCalls{0};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    ++g_newCalls;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    ++g_newCalls;
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                     (n + static_cast<std::size_t>(al) -
+                                      1) &
+                                         ~(static_cast<std::size_t>(al) -
+                                           1)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return ::operator new(n, al);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace fugu;
+
+/** Chained one-shot callable with a capture the size of a Packet. */
+struct Chain
+{
+    EventQueue *eq;
+    std::uint64_t *remaining;
+    std::uint64_t pad[5];
+
+    void
+    operator()() const
+    {
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        eq->scheduleFn(*this, eq->now() + 1, "chain");
+    }
+};
+
+TEST(EventAllocTest, ScheduleFireSteadyStateIsAllocationFree)
+{
+    EventQueue eq;
+    // Warm-up grows the pools and every ring bucket's capacity: with
+    // 64 in flight the clock moves one cycle per 64 events, so one
+    // full wrap of the ring needs 64 * 1024 events.
+    std::uint64_t remaining = 70000;
+    for (unsigned i = 0; i < 64; ++i)
+        eq.scheduleFn(Chain{&eq, &remaining, {}}, eq.now() + 1,
+                      "chain");
+    eq.run();
+    ASSERT_EQ(remaining, 0u);
+
+    remaining = 20000;
+    for (unsigned i = 0; i < 64; ++i)
+        eq.scheduleFn(Chain{&eq, &remaining, {}}, eq.now() + 1,
+                      "chain");
+    const std::uint64_t before = g_newCalls.load();
+    eq.run();
+    EXPECT_EQ(g_newCalls.load(), before)
+        << "schedule/fire steady state allocated";
+    EXPECT_EQ(remaining, 0u);
+}
+
+TEST(EventAllocTest, ScheduleCancelSteadyStateIsAllocationFree)
+{
+    EventQueue eq;
+    std::vector<EventHandle> handles(256);
+    int sink = 0;
+    auto round = [&] {
+        for (std::size_t i = 0; i < handles.size(); ++i)
+            handles[i] = eq.scheduleFn([&sink] { ++sink; },
+                                       eq.now() + 100 + i, "churn");
+        for (const EventHandle &h : handles)
+            eq.cancelFn(h);
+    };
+    for (int r = 0; r < 8; ++r) // warm-up
+        round();
+    const std::uint64_t before = g_newCalls.load();
+    for (int r = 0; r < 64; ++r)
+        round();
+    EXPECT_EQ(g_newCalls.load(), before)
+        << "schedule/cancel steady state allocated";
+    eq.run();
+    EXPECT_EQ(sink, 0);
+}
+
+TEST(EventAllocTest, RescheduleChurnSteadyStateIsAllocationFree)
+{
+    struct Nop : Event
+    {
+        Nop() : Event("nop") {}
+        void process() override {}
+    };
+
+    EventQueue eq;
+    std::vector<Nop> evs(16);
+    // Warm-up: drives both the near band (small deltas) and the far
+    // band (large deltas), triggering sweeps of each.
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        eq.reschedule(&evs[i % evs.size()],
+                      eq.now() + 1 + i % 3000);
+    const std::uint64_t before = g_newCalls.load();
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        eq.reschedule(&evs[i % evs.size()],
+                      eq.now() + 1 + i % 3000);
+    EXPECT_EQ(g_newCalls.load(), before)
+        << "reschedule steady state allocated";
+    for (auto &ev : evs)
+        eq.deschedule(&ev);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
