@@ -22,6 +22,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("ablation_twocase", argc, argv);
 
     Workloads wl;
@@ -38,8 +39,10 @@ main(int argc, char **argv)
         glaze::MachineConfig cfg;
         cfg.nodes = 8;
         if (i % 2 == 0) {
-            twocase[app] = runTrials(cfg, wl.factory(names[app]),
-                                     false, false, unused, 1);
+            twocase[app] =
+                runTrials(cfg, wl.factory(names[app]), false, false,
+                          unused, 1, 100000000000ull,
+                          i == 0 ? trace_path : std::string());
         } else {
             cfg.alwaysBuffered = true;
             cfg.framesPerNode = 256; // buffered mode needs real room

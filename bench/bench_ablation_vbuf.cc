@@ -16,6 +16,7 @@
 
 #include "harness/benchjson.hh"
 #include "harness/experiment.hh"
+#include "trace/export.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -24,8 +25,11 @@ namespace
 {
 
 double
-peakFrames(const glaze::MachineConfig &mcfg, const AppFactory &app)
+peakFrames(glaze::MachineConfig mcfg, const AppFactory &app,
+           const std::string &trace_path = "")
 {
+    if (!trace_path.empty())
+        mcfg.trace.enabled = true;
     glaze::Machine m(mcfg);
     glaze::Job *job = m.addJob("app", app(mcfg.nodes, mcfg.seed));
     m.addJob("null", apps::makeNullApp());
@@ -33,7 +37,15 @@ peakFrames(const glaze::MachineConfig &mcfg, const AppFactory &app)
     gcfg.quantum = 100000;
     gcfg.skew = 0.3;
     m.startGang(gcfg);
-    if (!m.runUntilDone(job, 100000000000ull))
+    const bool done = m.runUntilDone(job, 100000000000ull);
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!fugu::trace::writeTraceFiles(trace_path,
+                                          m.tracer()->buffer(), &err))
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         err.c_str());
+    }
+    if (!done)
         return -1;
     double peak = 0;
     for (auto &n : m.nodes)
@@ -46,6 +58,7 @@ peakFrames(const glaze::MachineConfig &mcfg, const AppFactory &app)
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("ablation_vbuf", argc, argv);
 
     Workloads wl;
@@ -62,7 +75,8 @@ main(int argc, char **argv)
         glaze::MachineConfig cfg;
         cfg.nodes = 8;
         if (i % 2 == 0) {
-            virt[app] = peakFrames(cfg, wl.factory(names[app]));
+            virt[app] = peakFrames(cfg, wl.factory(names[app]),
+                                   i == 0 ? trace_path : std::string());
         } else {
             cfg.pinnedBufferPages = kPinned;
             pinned[app] = peakFrames(cfg, wl.factory(names[app]));

@@ -23,6 +23,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("fig10_buffered_cost", argc, argv);
 
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
@@ -62,7 +63,8 @@ main(int argc, char **argv)
         gcfg.skew = 0.01;
         results[i] = runTrials(mcfg, factory, /*with_null=*/true,
                                /*gang=*/true, gcfg, trials,
-                               20000000000ull);
+                               20000000000ull,
+                               i == 0 ? trace_path : std::string());
     });
 
     std::printf("Figure 10: %% messages buffered vs buffered-path cost "

@@ -24,6 +24,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("fig7_buffered_fraction", argc, argv);
 
     Workloads wl;
@@ -53,9 +54,14 @@ main(int argc, char **argv)
         glaze::GangConfig gcfg;
         gcfg.quantum = 100000;
         gcfg.skew = points[i].skew;
+        // --trace records the most adverse barrier point (skew 40%).
+        const bool traced =
+            points[i].app == "barrier" && points[i].skew == 0.4;
         results[i] =
             runTrials(mcfg, wl.factory(points[i].app),
-                      /*with_null=*/true, /*gang=*/true, gcfg, trials);
+                      /*with_null=*/true, /*gang=*/true, gcfg, trials,
+                      100000000000ull,
+                      traced ? trace_path : std::string());
     });
 
     std::printf("Figure 7: %% messages buffered vs schedule skew "

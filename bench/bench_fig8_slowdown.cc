@@ -23,6 +23,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("fig8_slowdown", argc, argv);
 
     Workloads wl;
@@ -51,9 +52,13 @@ main(int argc, char **argv)
         glaze::GangConfig gcfg;
         gcfg.quantum = 100000;
         gcfg.skew = points[i].skew;
+        const bool traced =
+            points[i].app == "barrier" && points[i].skew == 0.4;
         results[i] =
             runTrials(mcfg, wl.factory(points[i].app),
-                      /*with_null=*/true, /*gang=*/true, gcfg, trials);
+                      /*with_null=*/true, /*gang=*/true, gcfg, trials,
+                      100000000000ull,
+                      traced ? trace_path : std::string());
     });
 
     std::printf("Figure 8: relative runtime vs schedule skew "

@@ -24,6 +24,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("fig9_synth_interval", argc, argv);
 
     const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
@@ -61,7 +62,9 @@ main(int argc, char **argv)
         gcfg.quantum = 100000;
         gcfg.skew = 0.01;
         results[i] = runTrials(mcfg, factory, /*with_null=*/true,
-                               /*gang=*/true, gcfg, trials);
+                               /*gang=*/true, gcfg, trials,
+                               100000000000ull,
+                               i == 0 ? trace_path : std::string());
     });
 
     std::printf("Figure 9: %% messages buffered vs send interval "

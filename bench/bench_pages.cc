@@ -22,6 +22,7 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("pages", argc, argv);
 
     Workloads wl;
@@ -37,7 +38,8 @@ main(int argc, char **argv)
         gcfg.skew = 0.4;
         results[i] = runTrials(mcfg, wl.factory(names[i]),
                                /*with_null=*/true, /*gang=*/true, gcfg,
-                               /*trials=*/3);
+                               /*trials=*/3, 100000000000ull,
+                               i == 0 ? trace_path : std::string());
     });
 
     std::printf("Physical buffering pages under adverse scheduling "

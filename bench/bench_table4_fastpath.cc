@@ -22,6 +22,7 @@
 #include "apps/common.hh"
 #include "harness/benchjson.hh"
 #include "harness/experiment.hh"
+#include "trace/export.hh"
 
 using namespace fugu;
 using namespace fugu::glaze;
@@ -74,11 +75,13 @@ oneKernelSend(Kernel *k, double *send_cost)
 
 /** Interrupt-path costs for user messages (Hard/Soft atomicity). */
 PathCosts
-measureUser(core::AtomicityMode mode)
+measureUser(core::AtomicityMode mode,
+            const std::string &trace_path = "")
 {
     MachineConfig cfg;
     cfg.nodes = 2;
     cfg.atomicity = mode;
+    cfg.trace.enabled = !trace_path.empty();
     Machine m(cfg);
     PathCosts out;
     Job *job = m.addJob("t4", [&out](Process &p) -> CoTask<void> {
@@ -98,6 +101,13 @@ measureUser(core::AtomicityMode mode)
     const double rx_before = busy(m, 1);
     m.run();
     out.recvInterrupt = busy(m, 1) - rx_before;
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!trace::writeTraceFiles(trace_path, m.tracer()->buffer(),
+                                    &err))
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         err.c_str());
+    }
     return out;
 }
 
@@ -165,10 +175,13 @@ measureKernel()
 }
 
 void
-printTable(BenchReport &report)
+printTable(BenchReport &report, const std::string &trace_path)
 {
     const PathCosts kernel = measureKernel();
-    const PathCosts hard = measureUser(core::AtomicityMode::Hard);
+    // The traced run is the fast-path exemplar: one send, one
+    // interrupt receive, hardware atomicity.
+    const PathCosts hard =
+        measureUser(core::AtomicityMode::Hard, trace_path);
     const PathCosts soft = measureUser(core::AtomicityMode::Soft);
     const double poll = measurePolling();
 
@@ -227,10 +240,11 @@ BENCHMARK(BM_KernelReceive);
 int
 main(int argc, char **argv)
 {
-    // Constructed first: consumes --json so google-benchmark's parser
-    // never sees it.
+    // Constructed first: consumes --trace/--json so google-benchmark's
+    // parser never sees them.
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("table4_fastpath", argc, argv);
-    printTable(report);
+    printTable(report, trace_path);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

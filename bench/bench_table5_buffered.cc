@@ -19,6 +19,7 @@
 #include "apps/common.hh"
 #include "harness/benchjson.hh"
 #include "harness/experiment.hh"
+#include "trace/export.hh"
 
 using namespace fugu;
 using namespace fugu::glaze;
@@ -67,11 +68,12 @@ burstSender(Process &p, int count)
 }
 
 BufferedRun
-run(int messages)
+run(int messages, const std::string &trace_path = "")
 {
     MachineConfig cfg;
     cfg.nodes = 2;
     cfg.alwaysBuffered = true;
+    cfg.trace.enabled = !trace_path.empty();
     Machine m(cfg);
     int received = 0;
     Job *job =
@@ -82,6 +84,13 @@ run(int messages)
         });
     m.installJob(job);
     fugu_assert(m.runUntilDone(job, 100000000ull), "t5 run stuck");
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!trace::writeTraceFiles(trace_path, m.tracer()->buffer(),
+                                    &err))
+            std::fprintf(stderr, "trace write failed: %s\n",
+                         err.c_str());
+    }
     BufferedRun out;
     out.kernelCycles = m.node(1).cpu.stats.kernelCycles.value();
     out.handlerMean = job->procs[1]->stats.handlerCycles.mean();
@@ -92,10 +101,12 @@ run(int messages)
 }
 
 void
-printTable(BenchReport &report)
+printTable(BenchReport &report, const std::string &trace_path)
 {
     const BufferedRun one = run(1);
-    const BufferedRun many = run(10);
+    // The traced run is the buffered-path exemplar: every message
+    // diverts into the software buffer and drains from it.
+    const BufferedRun many = run(10, trace_path);
     const double insert_max = one.kernelCycles;
     const double insert_min =
         (many.kernelCycles - one.kernelCycles) / 9.0;
@@ -145,10 +156,11 @@ BENCHMARK(BM_BufferedDelivery);
 int
 main(int argc, char **argv)
 {
-    // Constructed first: consumes --json so google-benchmark's parser
-    // never sees it.
+    // Constructed first: consumes --trace/--json so google-benchmark's
+    // parser never sees them.
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("table5_buffered", argc, argv);
-    printTable(report);
+    printTable(report, trace_path);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -48,6 +48,7 @@ constexpr PaperRow kPaper[] = {
 int
 main(int argc, char **argv)
 {
+    const std::string trace_path = parseTraceFlag(argc, argv);
     BenchReport report("table6_appchar", argc, argv);
 
     Workloads wl;
@@ -61,7 +62,8 @@ main(int argc, char **argv)
         glaze::GangConfig unused;
         results[i] = runTrials(mcfg, wl.factory(kPaper[i].name),
                                /*with_null=*/false, /*gang=*/false,
-                               unused, /*trials=*/1);
+                               unused, /*trials=*/1, 100000000000ull,
+                               i == 0 ? trace_path : std::string());
     });
 
     std::printf("Table 6: application characteristics, standalone on 8 "

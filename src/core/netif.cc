@@ -42,7 +42,9 @@ NetIf::Stats::Stats(StatGroup *parent, NodeId id)
       messageIrqs(&group, "message_irqs",
                   "message-available assertions"),
       atomicityTimeouts(&group, "atomicity_timeouts",
-                        "atomicity timer expirations")
+                        "atomicity timer expirations"),
+      fastLatency(&group, "fast_latency",
+                  "inject-to-dispose latency, fast path (cycles)")
 {
 }
 
@@ -66,6 +68,11 @@ NetIf::tryDeliver(net::Packet &&pkt)
         return false;
     inq_.push_back(std::move(pkt));
     ++stats.received;
+    FUGU_TRACE(tracer_, id_, trace::Type::NetAccept,
+               trace::userMsgId(inq_.back().seq),
+               trace::DivertReason::None,
+               (static_cast<std::uint32_t>(inq_.back().src) << 16) |
+                   inq_.back().size());
     if (niTraceOn())
         std::printf("[ni] n%u deliver h=%u src=%u q=%zu\n", id_,
                     inq_.back().handler, inq_.back().src, inq_.size());
@@ -162,6 +169,17 @@ NetIf::dispose(bool user_mode)
     if (niTraceOn())
         std::printf("[ni] n%u dispose h=%u src=%u\n", id_,
                     inq_.front().handler, inq_.front().src);
+    if (messageAvailable()) {
+        // The fast (direct) path completes here: the message went
+        // from the wire straight into the handler's dispose.
+        const net::Packet &f = inq_.front();
+        const Cycle lat = cpu_.now() - f.injectedAt;
+        stats.fastLatency.sample(static_cast<double>(lat));
+        FUGU_TRACE(tracer_, id_, trace::Type::DirectExtract,
+                   trace::userMsgId(f.seq), trace::DivertReason::None,
+                   static_cast<std::uint32_t>(
+                       lat > 0xffffffffull ? 0xffffffffull : lat));
+    }
     inq_.pop_front();
     ++stats.disposed;
     // Table 3: dispose resets dispose-pending and presets the timer.
@@ -323,6 +341,7 @@ NetIf::updateLines(bool restart_timer)
         cpu_.setUserTimer(cfg_.atomicityTimeout, [this] {
             timerRunning_ = false;
             ++stats.atomicityTimeouts;
+            FUGU_TRACE(tracer_, id_, trace::Type::AtomTimeout);
             cpu_.raiseIrq(kIrqAtomicityTimeout);
         });
     }

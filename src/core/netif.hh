@@ -31,6 +31,7 @@
 #include "exec/cpu.hh"
 #include "net/network.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace fugu::core
 {
@@ -159,6 +160,9 @@ class NetIf : public net::NetSink
     /** One-shot callback when channel (id, dst) has room again. */
     void subscribeSpace(NodeId dst, std::function<void()> cb);
 
+    /** Attach a message-lifecycle trace recorder (null to disable). */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
+
     /// @}
 
     struct Stats
@@ -171,6 +175,7 @@ class NetIf : public net::NetSink
         Scalar mismatchIrqs;
         Scalar messageIrqs;
         Scalar atomicityTimeouts;
+        Histogram fastLatency;
     };
 
     Stats stats;
@@ -196,6 +201,7 @@ class NetIf : public net::NetSink
 
     bool timerRunning_ = false;
     bool linesRaised_[exec::kNumIrqLines] = {};
+    trace::Recorder *tracer_ = nullptr;
 };
 
 } // namespace fugu::core

@@ -44,7 +44,7 @@ class Context : public std::enable_shared_from_this<Context>
 {
   public:
     Context(Cpu *cpu, std::string name, bool kernel, Task task);
-    ~Context() = default;
+    ~Context();
 
     Context(const Context &) = delete;
     Context &operator=(const Context &) = delete;
@@ -97,6 +97,16 @@ class Context : public std::enable_shared_from_this<Context>
     Cycle remaining_ = 0;
 
     ContextPtr returnTo_;
+
+    /**
+     * Intrusive membership in the owning Cpu's context registry, so
+     * Cpu teardown can destroy the coroutine frames of contexts still
+     * suspended (frames may hold ContextPtr/ThreadPtr locals forming
+     * shared_ptr cycles that would otherwise never be released).
+     */
+    Context *ctxPrev_ = nullptr;
+    Context *ctxNext_ = nullptr;
+    bool ctxListed_ = false;
 };
 
 } // namespace fugu::exec

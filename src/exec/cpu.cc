@@ -25,6 +25,13 @@ Context::Context(Cpu *cpu, std::string name, bool kernel, Task task)
 {
     fugu_assert(task_.valid(), "context '", name_, "' needs a coroutine");
     task_.handle().promise().ctx = this;
+    cpu_->linkContext(this);
+}
+
+Context::~Context()
+{
+    if (ctxListed_)
+        cpu_->unlinkContext(this);
 }
 
 std::coroutine_handle<>
@@ -57,7 +64,76 @@ Cpu::Cpu(EventQueue &eq, NodeId id, StatGroup *stat_parent)
 {
 }
 
-Cpu::~Cpu() = default;
+Cpu::~Cpu()
+{
+    destroyParkedContexts();
+}
+
+void
+Cpu::linkContext(Context *ctx)
+{
+    ctx->ctxNext_ = ctxHead_;
+    if (ctxHead_)
+        ctxHead_->ctxPrev_ = ctx;
+    ctxHead_ = ctx;
+    ctx->ctxListed_ = true;
+}
+
+void
+Cpu::unlinkContext(Context *ctx)
+{
+    if (ctx->ctxPrev_)
+        ctx->ctxPrev_->ctxNext_ = ctx->ctxNext_;
+    else
+        ctxHead_ = ctx->ctxNext_;
+    if (ctx->ctxNext_)
+        ctx->ctxNext_->ctxPrev_ = ctx->ctxPrev_;
+    ctx->ctxPrev_ = ctx->ctxNext_ = nullptr;
+    ctx->ctxListed_ = false;
+}
+
+void
+Cpu::destroyParkedContexts()
+{
+    // Drop the Cpu's own references first so frame destruction below
+    // observes the final ownership graph.
+    current_.reset();
+    pendingReturn_.reset();
+    retired_.reset();
+    spend_.ctx.reset();
+    timer_.cb = nullptr;
+
+    // Destroy the frame of every context suspended mid-coroutine.
+    // Each destruction can release ContextPtrs that in turn destroy
+    // other contexts (unlinking them), so restart the scan after
+    // every mutation rather than walking a possibly-stale chain.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (Context *c = ctxHead_; c; c = c->ctxNext_) {
+            if (!c->task_.valid() || c->finished())
+                continue;
+            // Keep the context alive across the frame destruction:
+            // the frame may hold the last ContextPtr to it, and
+            // re-entering ~Context mid-assignment would be UB.
+            ContextPtr keep = c->shared_from_this();
+            c->state_ = CtxState::Finished;
+            c->task_ = Task();
+            progress = true;
+            break;
+        }
+    }
+
+    // Unregister survivors (contexts still referenced by outside
+    // owners) so their eventual destruction does not touch this Cpu.
+    for (Context *c = ctxHead_; c;) {
+        Context *next = c->ctxNext_;
+        c->ctxPrev_ = c->ctxNext_ = nullptr;
+        c->ctxListed_ = false;
+        c = next;
+    }
+    ctxHead_ = nullptr;
+}
 
 void
 Cpu::setIrqHandler(unsigned line, IrqHandlerFactory factory, bool pulse)
@@ -307,6 +383,8 @@ Cpu::dispatchIrq(unsigned line, ContextPtr ret)
     if (irqPulse_[line])
         pendingIrqs_ &= ~(1u << line);
     ++stats.irqsTaken;
+    FUGU_TRACE(tracer_, id_, trace::Type::IrqDispatch, 0,
+               trace::DivertReason::None, line);
     ContextPtr handler = spawn("irq" + std::to_string(line),
                                /*kernel=*/true, irqHandlers_[line](line));
     handler->setReturnTo(std::move(ret));

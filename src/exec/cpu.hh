@@ -30,6 +30,7 @@
 #include "sim/event.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace fugu::exec
 {
@@ -79,6 +80,9 @@ class Cpu
      * dispatcher, which may call switchTo() or leave the Cpu idle.
      */
     void setIdleHook(std::function<void()> hook);
+
+    /** Attach a message-lifecycle trace recorder (null to disable). */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
 
     /// @}
     /// @name Device interface
@@ -234,6 +238,7 @@ class Cpu
 
   private:
     friend struct Task::promise_type::FinalAwaiter;
+    friend class Context;
 
     /// @name Awaiter entry points (delegated from the awaiter structs)
     /// @{
@@ -264,6 +269,20 @@ class Cpu
 
     /** Context finished (called from final_suspend). */
     void onFinished(Context *ctx);
+
+    /// @name Context registry (see Context::ctxListed_)
+    /// @{
+    void linkContext(Context *ctx);
+    void unlinkContext(Context *ctx);
+
+    /**
+     * Destroy the coroutine frames of every context still suspended,
+     * releasing the ContextPtr/ThreadPtr locals they hold (which may
+     * form reference cycles). Runs from the destructor; nothing may
+     * execute on this Cpu afterwards.
+     */
+    void destroyParkedContexts();
+    /// @}
 
     /** Begin/continue a spend for the current context. */
     void beginSpend(Cycle n);
@@ -313,6 +332,9 @@ class Cpu
     UserTimer timer_;
 
     Cycle userCycles_ = 0;
+
+    Context *ctxHead_ = nullptr;
+    trace::Recorder *tracer_ = nullptr;
 };
 
 } // namespace fugu::exec

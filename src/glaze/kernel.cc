@@ -15,7 +15,8 @@ using core::NiTrap;
 // OsNic
 // ---------------------------------------------------------------------
 
-OsNic::OsNic(exec::Cpu &cpu, net::Network &osnet, NodeId id) : cpu_(cpu)
+OsNic::OsNic(exec::Cpu &cpu, net::Network &osnet, NodeId id)
+    : cpu_(cpu), id_(id)
 {
     osnet.attach(id, this);
 }
@@ -23,6 +24,10 @@ OsNic::OsNic(exec::Cpu &cpu, net::Network &osnet, NodeId id) : cpu_(cpu)
 bool
 OsNic::tryDeliver(net::Packet &&pkt)
 {
+    FUGU_TRACE(tracer_, id_, trace::Type::NetAccept,
+               trace::osMsgId(pkt.seq), trace::DivertReason::None,
+               (static_cast<std::uint32_t>(pkt.src) << 16) |
+                   pkt.size());
     q_.push_back(std::move(pkt));
     cpu_.raiseIrq(core::kIrqOsNet);
     return true;
@@ -57,7 +62,9 @@ Kernel::Stats::Stats(StatGroup *parent, NodeId id)
       overflowEvents(&group, "overflow_events",
                      "overflow-control activations"),
       droppedNoProcess(&group, "dropped_no_process",
-                       "messages for unknown GIDs dropped")
+                       "messages for unknown GIDs dropped"),
+      bufLatency(&group, "buf_latency",
+                 "inject-to-extract latency, buffered path (cycles)")
 {
 }
 
@@ -95,6 +102,12 @@ core::AtomicityMode
 Kernel::atomicity() const
 {
     return m_.cfg.atomicity;
+}
+
+trace::Recorder *
+Kernel::tracer() const
+{
+    return m_.tracer();
 }
 
 void
@@ -183,7 +196,8 @@ Kernel::installProcess(Process *p)
     ni().writeUac(p->savedUac);
     ni().setDivert(p->buffered);
     if (m_.cfg.alwaysBuffered && !p->buffered)
-        enterBuffered(p, /*from_atomic=*/false);
+        enterBuffered(p, /*from_atomic=*/false,
+                      trace::DivertReason::Config);
     cpu().requestDispatch();
 }
 
@@ -275,7 +289,14 @@ Kernel::onMismatchAvailable()
         if (h->gid == kKernelGid) {
             co_await kernelDispatch(ni().kernelExtract());
         } else if (Process *p = findProcess(h->gid)) {
-            co_await bufferInsert(p, ni().kernelExtract());
+            // Attribution: a head GID differing from the installed GID
+            // means the target is descheduled; otherwise divert mode
+            // is on and the message buffers for whatever reason put
+            // the process into buffered mode.
+            const trace::DivertReason why =
+                h->gid != ni().gid() ? trace::DivertReason::GidMismatch
+                                     : p->bufferCause;
+            co_await bufferInsert(p, ni().kernelExtract(), why);
         } else {
             // A message for a GID with no process here: the paper's
             // OS reports the offending sender to the global
@@ -291,6 +312,9 @@ Kernel::kernelDispatch(net::Packet pkt)
 {
     const auto &c = costs();
     ++stats.kernelMsgs;
+    FUGU_TRACE(tracer(), id_, trace::Type::KernelMsg,
+               trace::userMsgId(pkt.seq), trace::DivertReason::None,
+               pkt.handler);
     co_await cpu().spend(c.registerSave + c.dispatchKernel);
     co_await cpu().spend(
         c.nullHandler +
@@ -302,10 +326,14 @@ Kernel::kernelDispatch(net::Packet pkt)
 }
 
 exec::CoTask<void>
-Kernel::bufferInsert(Process *p, net::Packet pkt)
+Kernel::bufferInsert(Process *p, net::Packet pkt,
+                     trace::DivertReason reason)
 {
     const auto &c = costs();
     ++stats.bufferInserts;
+    FUGU_TRACE(tracer(), id_, trace::Type::Divert,
+               trace::userMsgId(pkt.seq), reason,
+               (static_cast<std::uint32_t>(pkt.src) << 16) | p->gid());
     fugu_assert(c.bufferInsertMin > c.interruptOverhead);
     co_await cpu().spend(c.bufferInsertMin - c.interruptOverhead);
     if (p->vbuf().needsNewPageFor(pkt)) {
@@ -325,6 +353,8 @@ Kernel::overflowControl(Process *p)
 {
     const auto &c = costs();
     ++stats.overflowEvents;
+    FUGU_TRACE(tracer(), id_, trace::Type::Overflow, 0,
+               trace::DivertReason::None, p->gid());
 
     // Globally suspend the offending application while paging clears
     // out space (the anti-thrashing strategy of Section 4.2).
@@ -374,15 +404,20 @@ Kernel::onAtomicityTimeout()
     // Revoke the interrupt-disable privilege: switch from physical to
     // virtual atomicity. The pending messages divert to the software
     // buffer via the mismatch path.
-    enterBuffered(p, /*from_atomic=*/true);
+    enterBuffered(p, /*from_atomic=*/true,
+                  trace::DivertReason::AtomTimeout);
 }
 
 void
-Kernel::enterBuffered(Process *p, bool from_atomic)
+Kernel::enterBuffered(Process *p, bool from_atomic,
+                      trace::DivertReason cause)
 {
     fugu_assert(p == current_, "enterBuffered for non-current process");
     fugu_assert(!p->buffered);
     ++stats.modeEntries;
+    p->bufferCause = cause;
+    FUGU_TRACE(tracer(), id_, trace::Type::ModeEnter, 0, cause,
+               p->gid());
     p->buffered = true;
     ni().setDivert(true);
     p->port().enterBuffered(&p->vbuf());
@@ -401,6 +436,9 @@ Kernel::exitBuffered(Process *p)
 {
     fugu_assert(p->buffered && p->vbuf().empty());
     ++stats.modeExits;
+    FUGU_TRACE(tracer(), id_, trace::Type::ModeExit, 0,
+               p->bufferCause, p->gid());
+    p->bufferCause = trace::DivertReason::None;
     p->buffered = false;
     p->port().exitBuffered();
     if (p == current_)
@@ -447,6 +485,16 @@ Kernel::onDisposeExtend(exec::ContextPtr)
     // Emulate the dispose: pop the software buffer and reset the
     // dispose-pending hook exactly as the hardware dispose would.
     ni().setKernelUac(0, kUacDisposePending);
+    {
+        // Buffered-path delivery completes here.
+        const net::Packet &f = p->vbuf().front();
+        const Cycle lat = cpu().now() - f.injectedAt;
+        stats.bufLatency.sample(static_cast<double>(lat));
+        FUGU_TRACE(tracer(), id_, trace::Type::BufExtract,
+                   trace::userMsgId(f.seq), trace::DivertReason::None,
+                   static_cast<std::uint32_t>(
+                       lat > 0xffffffffull ? 0xffffffffull : lat));
+    }
     p->vbuf().pop();
     if (!p->vbuf().empty() && p->vbuf().frontSwapped()) {
         co_await cpu().spend(costs().pageInLatency);
@@ -481,13 +529,17 @@ Kernel::onPageFault(exec::ContextPtr victim)
     ++stats.pageFaults;
     co_await cpu().spend(costs().pageZeroFill);
     const std::uint64_t page = victim->trapArg;
+    FUGU_TRACE(tracer(), id_, trace::Type::PageFault, 0,
+               trace::DivertReason::None,
+               static_cast<std::uint32_t>(page));
     while (!p->as().mapPage(page))
         co_await cpu().spend(1000); // wait for the pool to drain
     // A page fault inside an atomic section (e.g. in a handler) must
     // not block the network: switch to buffered mode (Section 4.3).
     if ((ni().uac() & kUacInterruptDisable) && !p->buffered) {
         co_await cpu().spend(costs().modeTransition);
-        enterBuffered(p, /*from_atomic=*/true);
+        enterBuffered(p, /*from_atomic=*/true,
+                      trace::DivertReason::PageFault);
     }
 }
 
@@ -513,6 +565,9 @@ Kernel::onOsNet()
         net::Packet pkt = nic.pop();
         Word id = pkt.handler;
         ++stats.kernelMsgs;
+        FUGU_TRACE(tracer(), id_, trace::Type::KernelMsg,
+                   trace::osMsgId(pkt.seq), trace::DivertReason::None,
+                   pkt.handler);
         co_await cpu().spend(
             c.nullHandler +
             c.receiveArgCost(static_cast<unsigned>(pkt.payload.size())));
@@ -575,6 +630,9 @@ Kernel::onSched()
     if (next == current_)
         co_return;
     ++stats.processSwitches;
+    FUGU_TRACE(tracer(), id_, trace::Type::QuantumSwitch, 0,
+               trace::DivertReason::None,
+               next ? next->gid() : 0xffffu);
 
     auto self = cpu().current();
     auto stolen = self->takeReturnTo();
@@ -620,11 +678,13 @@ Kernel::onSched()
     // Transparency at the start of a quantum (Section 4.3): begin in
     // buffered mode if messages were buffered while descheduled.
     if (m_.cfg.alwaysBuffered && !next->buffered)
-        enterBuffered(next, (ni().uac() & kUacInterruptDisable) != 0);
+        enterBuffered(next, (ni().uac() & kUacInterruptDisable) != 0,
+                      trace::DivertReason::Config);
     if (!next->buffered && !next->vbuf().empty()) {
         co_await cpu().spend(costs().modeTransition);
         enterBuffered(next,
-                      (ni().uac() & kUacInterruptDisable) != 0);
+                      (ni().uac() & kUacInterruptDisable) != 0,
+                      trace::DivertReason::QuantumCarry);
     }
     ensureDrain(next);
 }

@@ -31,6 +31,7 @@
 #include "glaze/process.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace fugu::glaze
 {
@@ -65,8 +66,13 @@ class OsNic : public net::NetSink
     bool empty() const { return q_.empty(); }
     net::Packet pop();
 
+    /** Attach a message-lifecycle trace recorder (null to disable). */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
+
   private:
     exec::Cpu &cpu_;
+    NodeId id_;
+    trace::Recorder *tracer_ = nullptr;
     std::deque<net::Packet> q_;
 };
 
@@ -127,8 +133,12 @@ class Kernel
      */
     void ensureDrain(Process *p);
 
-    /** Transparent switch into the software-buffered case. */
-    void enterBuffered(Process *p, bool from_atomic);
+    /**
+     * Transparent switch into the software-buffered case. @p cause
+     * records why for trace attribution (Section 4.2/4.3 triggers).
+     */
+    void enterBuffered(Process *p, bool from_atomic,
+                       trace::DivertReason cause);
 
     struct Stats
     {
@@ -143,6 +153,7 @@ class Kernel
         Scalar pageFaults;
         Scalar overflowEvents;
         Scalar droppedNoProcess;
+        Histogram bufLatency;
     };
 
     Stats stats;
@@ -174,7 +185,11 @@ class Kernel
     exec::Task drainBody(Process *p);
 
     /** Insert a diverted message into its process's virtual buffer. */
-    exec::CoTask<void> bufferInsert(Process *p, net::Packet pkt);
+    exec::CoTask<void> bufferInsert(Process *p, net::Packet pkt,
+                                    trace::DivertReason reason);
+
+    /** The machine's trace recorder (null when tracing is off). */
+    trace::Recorder *tracer() const;
 
     /** Overflow control: suspend job, swap out, resume (Section 4.2). */
     exec::CoTask<void> overflowControl(Process *p);

@@ -38,11 +38,20 @@ Machine::fix(MachineConfig cfg)
 
 Machine::Machine(MachineConfig cfg_in)
     : cfg(fix(std::move(cfg_in))), root("machine"), rng(cfg.seed),
+      tracer_(cfg.trace.enabled
+                  ? std::make_unique<trace::Recorder>(eq, cfg.trace)
+                  : nullptr),
       net(eq, cfg.net, "net_user", &root),
       osnet(eq, cfg.osNet, "net_os", &root)
 {
-    for (NodeId n = 0; n < cfg.nodes; ++n)
+    net.setTracer(tracer_.get(), /*os_net=*/false);
+    osnet.setTracer(tracer_.get(), /*os_net=*/true);
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
         nodes.push_back(std::make_unique<Node>(*this, n));
+        nodes.back()->cpu.setTracer(tracer_.get());
+        nodes.back()->ni.setTracer(tracer_.get());
+        nodes.back()->osnic.setTracer(tracer_.get());
+    }
     for (auto &node : nodes)
         node->kernel.init();
 }
@@ -75,6 +84,7 @@ Machine::addJob(std::string name, AppBody body)
             if (!nodes[n]->frames.tryAllocate())
                 warn("node ", n, ": could not pin buffer page ", f);
         }
+        proc->setTracer(tracer_.get());
         job->procs.push_back(proc.get());
         proc->threads().spawn(job->name() + "-main", rt::kPrioNormal,
                               jobMain(proc.get(), job.get(), body));

@@ -24,6 +24,7 @@
 #include "sim/event.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace fugu::glaze
 {
@@ -59,6 +60,9 @@ struct MachineConfig
      * frames per process are taken at creation and never returned.
      */
     unsigned pinnedBufferPages = 0;
+
+    /** Message-lifecycle tracing (disabled by default). */
+    trace::Options trace{};
 
     std::uint64_t seed = 1;
 };
@@ -101,6 +105,9 @@ class Machine
     unsigned nodeCount() const { return cfg.nodes; }
     Node &node(NodeId id) { return *nodes[id]; }
 
+    /** The trace recorder, or null when tracing is disabled. */
+    trace::Recorder *tracer() const { return tracer_.get(); }
+
     /**
      * Create a job: one Process per node, each with a main thread
      * running @p body. The job does not run until installed
@@ -130,6 +137,8 @@ class Machine
     EventQueue eq;
     StatGroup root;
     Rng rng;
+    // Declared before the networks and nodes so it outlives them.
+    std::unique_ptr<trace::Recorder> tracer_;
     net::Network net;
     net::Network osnet;
     std::vector<std::unique_ptr<Node>> nodes;

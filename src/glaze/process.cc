@@ -40,6 +40,13 @@ Process::touchPage(std::uint64_t page)
 }
 
 void
+Process::setTracer(trace::Recorder *tracer)
+{
+    tracer_ = tracer;
+    vbuf_.setTracer(tracer);
+}
+
+void
 Process::onSend()
 {
     ++stats.sent;
@@ -58,6 +65,11 @@ Process::onDispatchEnd(bool buffered, Cycle handler_cycles)
     else
         ++stats.directDelivered;
     stats.handlerCycles.sample(static_cast<double>(handler_cycles));
+    const std::uint32_t dur = static_cast<std::uint32_t>(
+        handler_cycles > 0x7fffffffull ? 0x7fffffffull : handler_cycles);
+    FUGU_TRACE(tracer_, node_, trace::Type::Dispatch, 0,
+               trace::DivertReason::None,
+               dur | (buffered ? 0x80000000u : 0u));
 }
 
 void

@@ -20,6 +20,7 @@
 #include "glaze/vm.hh"
 #include "rt/thread.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace fugu::glaze
 {
@@ -69,6 +70,9 @@ class Process : public core::PortObserver
      */
     exec::CoTask<void> touchPage(std::uint64_t page);
 
+    /** Attach a message-lifecycle trace recorder (null to disable). */
+    void setTracer(trace::Recorder *tracer);
+
     /// @}
     /// @name Kernel-side scheduling state
     /// @{
@@ -85,6 +89,12 @@ class Process : public core::PortObserver
 
     /** Globally suspended by overflow control. */
     bool suspended = false;
+
+    /**
+     * Why this process last entered buffered mode (trace attribution;
+     * reset to None when the process returns to direct delivery).
+     */
+    trace::DivertReason bufferCause = trace::DivertReason::None;
 
     /** Context frozen at the last quantum switch (resumed first). */
     exec::ContextPtr savedCtx;
@@ -146,6 +156,7 @@ class Process : public core::PortObserver
     rt::Scheduler threads_;
     AddressSpace as_;
     VirtualBuffer vbuf_;
+    trace::Recorder *tracer_ = nullptr;
 };
 
 /** Per-node application entry point. */

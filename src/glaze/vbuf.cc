@@ -19,8 +19,16 @@ VirtualBuffer::Stats::Stats(StatGroup *parent, NodeId node, Gid gid)
 
 VirtualBuffer::VirtualBuffer(FramePool &frames, StatGroup *parent,
                              NodeId node, Gid gid)
-    : stats(parent, node, gid), frames_(frames)
+    : stats(parent, node, gid), frames_(frames), node_(node)
 {
+}
+
+void
+VirtualBuffer::tracePage(unsigned kind) const
+{
+    FUGU_TRACE(tracer_, node_, trace::Type::VbufPage, 0,
+               trace::DivertReason::None,
+               (static_cast<std::uint32_t>(pages_.size()) << 2) | kind);
 }
 
 VirtualBuffer::~VirtualBuffer()
@@ -48,7 +56,15 @@ VirtualBuffer::allocatePage()
     pages_.push_back(Page{});
     if (pages_.size() > stats.peakPages.value())
         stats.peakPages.set(static_cast<double>(pages_.size()));
+    tracePage(trace::kVbufAlloc);
     return true;
+}
+
+const net::Packet &
+VirtualBuffer::front() const
+{
+    fugu_assert(!msgs_.empty(), "front() on empty buffer");
+    return msgs_.front();
 }
 
 void
@@ -135,6 +151,7 @@ VirtualBuffer::pageInFront()
         return false;
     pages_.front().swapped = false;
     ++stats.pageIns;
+    tracePage(trace::kVbufPageIn);
     return true;
 }
 
@@ -150,6 +167,7 @@ VirtualBuffer::swapOut(unsigned n)
         p.swapped = true;
         frames_.release();
         ++stats.swapOuts;
+        tracePage(trace::kVbufSwapOut);
         ++done;
     }
     return done;

@@ -25,6 +25,7 @@
 #include "glaze/vm.hh"
 #include "net/packet.hh"
 #include "sim/stats.hh"
+#include "trace/trace.hh"
 
 namespace fugu::glaze
 {
@@ -67,6 +68,9 @@ class VirtualBuffer : public core::BufferedInput
     /// @name Drain path (dispose-extend emulation)
     /// @{
 
+    /** The front message (available() must hold). */
+    const net::Packet &front() const;
+
     /** Remove the front message, freeing drained pages. */
     void pop();
 
@@ -91,6 +95,9 @@ class VirtualBuffer : public core::BufferedInput
     unsigned swapOut(unsigned n);
 
     /// @}
+
+    /** Attach a message-lifecycle trace recorder (null to disable). */
+    void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
 
     bool empty() const { return msgs_.empty(); }
     std::size_t messages() const { return msgs_.size(); }
@@ -131,7 +138,12 @@ class VirtualBuffer : public core::BufferedInput
         unsigned pageIdx; ///< index counted from buffer creation
     };
 
+    /** Record a VbufPage event (kind: alloc/swap-out/page-in). */
+    void tracePage(unsigned kind) const;
+
     FramePool &frames_;
+    NodeId node_;
+    trace::Recorder *tracer_ = nullptr;
     std::deque<net::Packet> msgs_;
     std::deque<unsigned> msgPage_; ///< absolute page index per message
     std::deque<Page> pages_;       ///< live pages, front = draining

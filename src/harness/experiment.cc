@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "sim/log.hh"
+#include "trace/export.hh"
 
 namespace fugu::harness
 {
@@ -17,8 +18,11 @@ using namespace fugu::glaze;
 
 RunStats
 runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
-       bool gang, GangConfig gcfg, Cycle max_cycles)
+       bool gang, GangConfig gcfg, Cycle max_cycles,
+       const std::string &trace_path)
 {
+    if (!trace_path.empty())
+        mcfg.trace.enabled = true;
     Machine m(mcfg);
     Job *job =
         m.addJob("app", app(mcfg.nodes, mcfg.seed));
@@ -33,6 +37,12 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
 
     RunStats out;
     out.completed = m.runUntilDone(job, max_cycles);
+    if (!trace_path.empty()) {
+        std::string err;
+        if (!trace::writeTraceFiles(trace_path, m.tracer()->buffer(),
+                                    &err))
+            warn("trace write failed: ", err);
+    }
     if (!out.completed)
         return out;
     out.runtime = m.now() - job->startCycle;
@@ -61,8 +71,34 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     for (auto &node : m.nodes) {
         out.overflowEvents += node->kernel.stats.overflowEvents.value();
         out.atomicityTimeouts += node->ni.stats.atomicityTimeouts.value();
+        out.bufferInserts += node->kernel.stats.bufferInserts.value();
     }
     return out;
+}
+
+std::string
+parseTraceFlag(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        std::string path;
+        int eat = 0;
+        if (a.rfind("--trace=", 0) == 0) {
+            path = a.substr(8);
+            eat = 1;
+        } else if (a == "--trace" && i + 1 < argc) {
+            path = argv[i + 1];
+            eat = 2;
+        } else {
+            continue;
+        }
+        for (int j = i; j + eat <= argc; ++j)
+            argv[j] = argv[j + eat];
+        argc -= eat;
+        fugu_assert(!path.empty(), "--trace needs a file path");
+        return path;
+    }
+    return "";
 }
 
 namespace
@@ -123,7 +159,8 @@ runMany(std::vector<JobFn> jobs)
 RunStats
 runTrials(const MachineConfig &mcfg, const AppFactory &app,
           bool with_null, bool gang, const GangConfig &gcfg,
-          unsigned trials, Cycle max_cycles)
+          unsigned trials, Cycle max_cycles,
+          const std::string &trace_path)
 {
     fugu_assert(trials >= 1);
     std::vector<JobFn> jobs;
@@ -131,9 +168,14 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
     for (unsigned t = 0; t < trials; ++t) {
         MachineConfig cfg = mcfg;
         cfg.seed = mcfg.seed + 1000003ull * t;
-        jobs.push_back([cfg, &app, with_null, gang, gcfg, max_cycles] {
-            return runJob(cfg, app, with_null, gang, gcfg, max_cycles);
-        });
+        // Trace the first trial only: one machine, one recorder, so
+        // the file's bytes do not depend on trial interleaving.
+        const std::string tp = t == 0 ? trace_path : std::string();
+        jobs.push_back(
+            [cfg, &app, with_null, gang, gcfg, max_cycles, tp] {
+                return runJob(cfg, app, with_null, gang, gcfg,
+                              max_cycles, tp);
+            });
     }
     std::vector<RunStats> results = runMany(std::move(jobs));
 
@@ -157,6 +199,7 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
         acc.maxVbufPages = std::max(acc.maxVbufPages, r.maxVbufPages);
         acc.overflowEvents += r.overflowEvents;
         acc.atomicityTimeouts += r.atomicityTimeouts;
+        acc.bufferInserts += r.bufferInserts;
     }
     acc.runtime /= trials;
     acc.sent /= trials;
@@ -167,6 +210,7 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
     acc.tHand /= trials;
     acc.overflowEvents /= trials;
     acc.atomicityTimeouts /= trials;
+    acc.bufferInserts /= trials;
     return acc;
 }
 

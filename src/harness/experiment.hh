@@ -36,24 +36,39 @@ struct RunStats
     unsigned maxVbufPages = 0;  ///< peak buffer pages on any node
     double overflowEvents = 0;  ///< overflow-control activations
     double atomicityTimeouts = 0;
+    double bufferInserts = 0;   ///< machine-wide buffered insertions
     bool completed = false;
 };
 
-/** One run of @p app, optionally gang-scheduled against "null". */
+/**
+ * One run of @p app, optionally gang-scheduled against "null". When
+ * @p trace_path is non-empty, message-lifecycle tracing is enabled
+ * and the trace is written there (binary) plus "<path>.json"
+ * (Chrome trace-event format, Perfetto-loadable).
+ */
 RunStats runJob(glaze::MachineConfig mcfg, const AppFactory &app,
                 bool with_null, bool gang, glaze::GangConfig gcfg,
-                Cycle max_cycles = 100000000000ull);
+                Cycle max_cycles = 100000000000ull,
+                const std::string &trace_path = "");
 
 /**
  * Average of @p trials runs differing only in seed. Trials run in
  * parallel on the worker pool (each builds its own machine and event
  * queue), but results are accumulated in seed order, so the returned
- * stats are bit-identical to a serial run.
+ * stats are bit-identical to a serial run. A non-empty @p trace_path
+ * traces the first trial (deterministically, whatever FUGU_THREADS).
  */
 RunStats runTrials(const glaze::MachineConfig &mcfg,
                    const AppFactory &app, bool with_null, bool gang,
                    const glaze::GangConfig &gcfg, unsigned trials,
-                   Cycle max_cycles = 100000000000ull);
+                   Cycle max_cycles = 100000000000ull,
+                   const std::string &trace_path = "");
+
+/**
+ * Consume a "--trace=FILE" (or "--trace FILE") argument from argv.
+ * @return the file path, or "" when the flag is absent.
+ */
+std::string parseTraceFlag(int &argc, char **argv);
 
 /**
  * Worker threads used by runMany/runTrials: the FUGU_THREADS

@@ -86,6 +86,11 @@ Network::send(Packet pkt)
 
     pkt.injectedAt = eq_.now();
     pkt.seq = nextSeq_++;
+    FUGU_TRACE(tracer_, pkt.src, trace::Type::Inject,
+               osNet_ ? trace::osMsgId(pkt.seq)
+                      : trace::userMsgId(pkt.seq),
+               trace::DivertReason::None,
+               (static_cast<std::uint32_t>(pkt.dst) << 16) | words);
     NodeId dst = pkt.dst;
     eq_.scheduleFn(
         [this, dst, p = std::move(pkt)]() mutable {

@@ -32,6 +32,7 @@
 #include "sim/event.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace fugu::net
 {
@@ -105,6 +106,18 @@ class Network
      */
     void subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb);
 
+    /**
+     * Attach a message-lifecycle trace recorder. @p os_net selects
+     * the message-id tag so the two networks' injection sequences
+     * stay distinguishable in a merged trace.
+     */
+    void
+    setTracer(trace::Recorder *tracer, bool os_net)
+    {
+        tracer_ = tracer;
+        osNet_ = os_net;
+    }
+
     /** Dimension-ordered mesh hop count between two nodes. */
     unsigned hops(NodeId a, NodeId b) const;
 
@@ -153,6 +166,9 @@ class Network
     std::vector<std::deque<Packet>> arrived_;
 
     std::uint64_t nextSeq_ = 0;
+
+    trace::Recorder *tracer_ = nullptr;
+    bool osNet_ = false;
 };
 
 } // namespace fugu::net

@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 #include "sim/log.hh"
@@ -28,6 +29,84 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
     os << prefix << name() << "::mean " << mean() << "\n";
     os << prefix << name() << "::min " << minValue() << "\n";
     os << prefix << name() << "::max " << maxValue() << "\n";
+}
+
+unsigned
+Histogram::bucketOf(double v)
+{
+    if (v < 1.0)
+        return 0;
+    const auto x = static_cast<std::uint64_t>(v);
+    unsigned octave = 0;
+    for (std::uint64_t t = x; t > 1; t >>= 1)
+        ++octave;
+    // Sub-bucket from the 2 bits below the leading one.
+    const unsigned sub =
+        octave >= 2
+            ? static_cast<unsigned>((x >> (octave - 2)) & (kSub - 1))
+            : static_cast<unsigned>((x << (2 - octave)) & (kSub - 1));
+    const unsigned b = octave * kSub + sub;
+    return b < kBuckets ? b : kBuckets - 1;
+}
+
+double
+Histogram::bucketUpperEdge(unsigned b)
+{
+    const unsigned octave = b / kSub;
+    const unsigned sub = b % kSub;
+    // Upper edge of [2^octave * (1 + sub/4), 2^octave * (1 + (sub+1)/4)).
+    const double base = std::ldexp(1.0, static_cast<int>(octave));
+    return base * (1.0 + (sub + 1) / static_cast<double>(kSub));
+}
+
+void
+Histogram::sample(double v)
+{
+    if (v < 0)
+        v = 0;
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+    ++buckets_[bucketOf(v)];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (!count_)
+        return 0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cum += buckets_[b];
+        if (static_cast<double>(cum) >= target && cum > 0)
+            return std::min(bucketUpperEdge(b), max_);
+    }
+    return max_;
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << "::count " << count_ << " # " << desc()
+       << "\n";
+    os << prefix << name() << "::mean " << mean() << "\n";
+    os << prefix << name() << "::p50 " << percentile(50) << "\n";
+    os << prefix << name() << "::p95 " << percentile(95) << "\n";
+    os << prefix << name() << "::p99 " << percentile(99) << "\n";
+    os << prefix << name() << "::max " << maxValue() << "\n";
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    for (auto &b : buckets_)
+        b = 0;
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)

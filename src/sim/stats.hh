@@ -94,6 +94,47 @@ class Distribution : public Stat
 };
 
 /**
+ * Log-bucketed histogram with approximate percentiles. Samples are
+ * non-negative; each power-of-two octave is split into 4 sub-buckets,
+ * so the quantile error is bounded by ~25% of the value — plenty for
+ * latency distributions spanning decades. Exact count/sum/min/max are
+ * kept alongside.
+ */
+class Histogram : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0; }
+    double minValue() const { return count_ ? min_ : 0; }
+    double maxValue() const { return count_ ? max_ : 0; }
+
+    /** Value at percentile @p p in [0,100] (upper bucket edge). */
+    double percentile(double p) const;
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    /** 64 octaves x 4 sub-buckets covers the whole u64 cycle range. */
+    static constexpr unsigned kSub = 4;
+    static constexpr unsigned kBuckets = 64 * kSub;
+
+    static unsigned bucketOf(double v);
+    static double bucketUpperEdge(unsigned b);
+
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+    std::uint64_t buckets_[kBuckets] = {};
+};
+
+/**
  * A named collection of statistics and child groups. Groups do not own
  * their stats (stats are members of the owning module); they hold
  * non-owning registration pointers, so a group must outlive its stats'

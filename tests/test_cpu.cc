@@ -421,4 +421,39 @@ TEST_F(CpuTest, DeterministicRerun)
     EXPECT_EQ(t1, t2);
 }
 
+Task
+parkHoldingSelf(Cpu *cpu, ContextPtr *slot)
+{
+    // Body runs only once switched to, after the caller filled *slot.
+    ContextPtr self = *slot;
+    co_await cpu->block();
+    // Never resumed; `self` keeps the Context alive from inside its
+    // own coroutine frame (a shared_ptr cycle).
+    (void)self;
+}
+
+TEST_F(CpuTest, TeardownFreesBlockedContexts)
+{
+    std::weak_ptr<Context> observed;
+    {
+        EventQueue q;
+        StatGroup sg("t2");
+        Cpu c(q, 0, &sg);
+        ContextPtr slot;
+        ContextPtr ctx = c.spawn("parked", false,
+                                 parkHoldingSelf(&c, &slot));
+        slot = ctx;
+        observed = ctx;
+        c.switchTo(ctx);
+        q.run();
+        EXPECT_EQ(ctx->state(), CtxState::Blocked);
+        slot.reset();
+        ctx.reset();
+        // Only the frame's self-reference remains: without the Cpu's
+        // context registry this cycle would leak.
+        EXPECT_FALSE(observed.expired());
+    }
+    EXPECT_TRUE(observed.expired());
+}
+
 } // namespace

@@ -74,6 +74,40 @@ TEST(StatsTest, ResetAllRecurses)
     EXPECT_DOUBLE_EQ(b.value(), 0.0);
 }
 
+TEST(StatsTest, HistogramPercentilesBracketTheRank)
+{
+    StatGroup root("root");
+    Histogram h(&root, "lat", "latency");
+    for (int i = 1; i <= 1000; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+    // Log-bucketed: a percentile reports its bucket's upper edge, so
+    // it may overshoot the exact rank value by at most one sub-bucket
+    // (25%) and never undershoots.
+    const double p50 = h.percentile(50);
+    EXPECT_GE(p50, 500.0);
+    EXPECT_LE(p50, 625.0);
+    // The tail is clamped to the exact observed max.
+    EXPECT_DOUBLE_EQ(h.percentile(99), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(StatsTest, HistogramResetAndEmpty)
+{
+    StatGroup root("root");
+    Histogram h(&root, "lat", "latency");
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    h.sample(42);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 42.0); // clamped to max
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 0.0);
+}
+
 TEST(StatsTest, ChildGroupMayBeDestroyedFirst)
 {
     StatGroup root("root");
