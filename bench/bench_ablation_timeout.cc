@@ -12,11 +12,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -24,62 +22,68 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("ablation_timeout", argc, argv);
+    std::vector<std::uint64_t> timeouts{250,  500,   1000, 2000,
+                                        4000, 16000, 64000};
 
-    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
-    const Cycle timeouts[] = {250, 500, 1000, 2000, 4000, 16000,
-                              64000};
-    const std::size_t npoints = std::size(timeouts);
-
-    std::vector<RunStats> results(npoints);
-    parallelFor(npoints, [&](std::size_t i) {
-        apps::SynthAppConfig scfg;
-        scfg.n = 100;
-        scfg.groups = 30;
-        scfg.tBetween = 400;
+    BenchSpec spec;
+    spec.name = "ablation_timeout";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 4;
+        ctx.gang.quantum = 100000;
+        ctx.gang.skew = 0.01;
+        ctx.workloads.synth.n = 100;
+        ctx.workloads.synth.groups = 30;
+        ctx.workloads.synth.tBetween = 400;
         // A long handler stall holds the NI in an atomic section, so
         // short presets revoke (buffer) while long ones wait it out.
-        scfg.handlerStall = 1500;
-        AppFactory factory = [scfg](unsigned nodes,
-                                    std::uint64_t seed) {
-            apps::SynthAppConfig c = scfg;
-            c.seed = seed;
-            return apps::makeSynthApp(nodes, c);
-        };
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 4;
-        mcfg.ni.atomicityTimeout = timeouts[i];
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = 0.01;
-        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
-                               /*gang=*/true, gcfg, trials,
-                               100000000000ull,
-                               i == 0 ? trace_path : std::string());
-    });
+        ctx.workloads.synth.handlerStall = 1500;
+    };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("abl");
+        b.list("timeouts", timeouts,
+               "atomicity-timeout presets to sweep (overrides "
+               "ni.atomicity_timeout per point)",
+               "cycles");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        const std::size_t npoints = timeouts.size();
+        std::vector<RunStats> results(npoints);
+        parallelFor(npoints, [&](std::size_t i) {
+            glaze::MachineConfig mcfg = ctx.machine;
+            mcfg.ni.atomicityTimeout = timeouts[i];
+            results[i] = runTrials(
+                mcfg, ctx.workloads.factory("synth"),
+                /*with_null=*/true, /*gang=*/true, ctx.gang,
+                ctx.trials, ctx.maxCycles,
+                i == 0 ? ctx.tracePath : std::string());
+        });
 
-    std::printf("Ablation: atomicity-timeout preset vs buffering and "
-                "runtime (synth-100 + null, 1%% skew)\n");
-    TablePrinter t({"timeout", "%buffered", "timeouts", "runtime"},
-                   {8, 10, 9, 12});
-    t.printHeader();
-    report.meta("trials", trials);
-    report.meta("nodes", 4u);
+        std::printf(
+            "Ablation: atomicity-timeout preset vs buffering and "
+            "runtime (synth-%u + null, %g%% skew)\n",
+            ctx.workloads.synth.n, ctx.gang.skew * 100);
+        TablePrinter t({"timeout", "%buffered", "timeouts", "runtime"},
+                       {8, 10, 9, 12});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
 
-    for (std::size_t i = 0; i < npoints; ++i) {
-        const RunStats &r = results[i];
-        t.printRow(
-            {TablePrinter::num(static_cast<double>(timeouts[i])),
-             r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                         : "STUCK",
-             TablePrinter::num(r.atomicityTimeouts),
-             TablePrinter::num(static_cast<double>(r.runtime))});
-        report.row({{"timeout", std::uint64_t{timeouts[i]}},
-                    {"completed", r.completed},
-                    {"buffered_pct", r.bufferedPct},
-                    {"atomicity_timeouts", r.atomicityTimeouts},
-                    {"runtime", std::uint64_t{r.runtime}}});
-    }
-    return 0;
+        for (std::size_t i = 0; i < npoints; ++i) {
+            const RunStats &r = results[i];
+            t.printRow(
+                {TablePrinter::num(static_cast<double>(timeouts[i])),
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK",
+                 TablePrinter::num(r.atomicityTimeouts),
+                 TablePrinter::num(static_cast<double>(r.runtime))});
+            ctx.report.row(
+                {{"timeout", std::uint64_t{timeouts[i]}},
+                 {"completed", r.completed},
+                 {"buffered_pct", r.bufferedPct},
+                 {"atomicity_timeouts", r.atomicityTimeouts},
+                 {"runtime", std::uint64_t{r.runtime}}});
+        }
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -10,11 +10,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -22,69 +20,84 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("ablation_twocase", argc, argv);
+    unsigned bufferedFrames = 256;
 
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+    BenchSpec spec;
+    spec.name = "ablation_twocase";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.trials = 1;
+    };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("abl");
+        b.item("buffered_frames_per_node", bufferedFrames,
+               "frame-pool size for the always-buffered runs "
+               "(buffered mode needs real room)",
+               "frames");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        // Two runs per app (two-case and always-buffered); all of
+        // them are independent, so the whole matrix runs on the
+        // worker pool.
+        const auto &names = Workloads::names();
+        std::vector<RunStats> twocase(names.size());
+        std::vector<RunStats> buffered(names.size());
+        parallelFor(names.size() * 2, [&](std::size_t i) {
+            const std::size_t app = i / 2;
+            glaze::MachineConfig cfg = ctx.machine;
+            if (i % 2 == 0) {
+                twocase[app] = runTrials(
+                    cfg, ctx.workloads.factory(names[app]), false,
+                    false, ctx.gang, ctx.trials, ctx.maxCycles,
+                    i == 0 ? ctx.tracePath : std::string());
+            } else {
+                cfg.alwaysBuffered = true;
+                cfg.framesPerNode = bufferedFrames;
+                buffered[app] = runTrials(
+                    cfg, ctx.workloads.factory(names[app]), false,
+                    false, ctx.gang, ctx.trials, ctx.maxCycles);
+            }
+        });
 
-    // Two runs per app (two-case and always-buffered); all of them
-    // are independent, so the whole matrix runs on the worker pool.
-    const auto &names = Workloads::names();
-    std::vector<RunStats> twocase(names.size());
-    std::vector<RunStats> buffered(names.size());
-    parallelFor(names.size() * 2, [&](std::size_t i) {
-        const std::size_t app = i / 2;
-        glaze::GangConfig unused;
-        glaze::MachineConfig cfg;
-        cfg.nodes = 8;
-        if (i % 2 == 0) {
-            twocase[app] =
-                runTrials(cfg, wl.factory(names[app]), false, false,
-                          unused, 1, 100000000000ull,
-                          i == 0 ? trace_path : std::string());
-        } else {
-            cfg.alwaysBuffered = true;
-            cfg.framesPerNode = 256; // buffered mode needs real room
-            buffered[app] = runTrials(cfg, wl.factory(names[app]),
-                                      false, false, unused, 1);
+        std::printf("Ablation: two-case delivery vs always-buffered "
+                    "(standalone, %u nodes)\n",
+                    ctx.machine.nodes);
+        TablePrinter t({"App", "two-case", "always-buffered",
+                        "slowdown", "%buffered(a/b)"},
+                       {8, 12, 15, 9, 14});
+        t.printHeader();
+        ctx.report.meta("nodes", ctx.machine.nodes);
+
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const RunStats &ra = twocase[i];
+            const RunStats &rb = buffered[i];
+            if (!ra.completed || !rb.completed) {
+                t.printRow({names[i], ra.completed ? "ok" : "STUCK",
+                            rb.completed ? "ok" : "STUCK", "-", "-"});
+                ctx.report.row(
+                    {{"app", names[i]}, {"completed", false}});
+                continue;
+            }
+            char pct[32];
+            std::snprintf(pct, sizeof(pct), "%.0f%%/%.0f%%",
+                          ra.bufferedPct, rb.bufferedPct);
+            const double slowdown = static_cast<double>(rb.runtime) /
+                                    static_cast<double>(ra.runtime);
+            t.printRow(
+                {names[i],
+                 TablePrinter::num(static_cast<double>(ra.runtime)),
+                 TablePrinter::num(static_cast<double>(rb.runtime)),
+                 TablePrinter::num(slowdown, 2), pct});
+            ctx.report.row(
+                {{"app", names[i]},
+                 {"completed", true},
+                 {"twocase_runtime", std::uint64_t{ra.runtime}},
+                 {"buffered_runtime", std::uint64_t{rb.runtime}},
+                 {"slowdown", slowdown},
+                 {"twocase_buffered_pct", ra.bufferedPct},
+                 {"buffered_buffered_pct", rb.bufferedPct}});
         }
-    });
-
-    std::printf("Ablation: two-case delivery vs always-buffered "
-                "(standalone, 8 nodes)\n");
-    TablePrinter t({"App", "two-case", "always-buffered", "slowdown",
-                    "%buffered(a/b)"},
-                   {8, 12, 15, 9, 14});
-    t.printHeader();
-    report.meta("nodes", 8u);
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunStats &ra = twocase[i];
-        const RunStats &rb = buffered[i];
-        if (!ra.completed || !rb.completed) {
-            t.printRow({names[i], ra.completed ? "ok" : "STUCK",
-                        rb.completed ? "ok" : "STUCK", "-", "-"});
-            report.row({{"app", names[i]},
-                        {"completed", false}});
-            continue;
-        }
-        char pct[32];
-        std::snprintf(pct, sizeof(pct), "%.0f%%/%.0f%%",
-                      ra.bufferedPct, rb.bufferedPct);
-        const double slowdown = static_cast<double>(rb.runtime) /
-                                static_cast<double>(ra.runtime);
-        t.printRow({names[i],
-                    TablePrinter::num(static_cast<double>(ra.runtime)),
-                    TablePrinter::num(static_cast<double>(rb.runtime)),
-                    TablePrinter::num(slowdown, 2), pct});
-        report.row({{"app", names[i]},
-                    {"completed", true},
-                    {"twocase_runtime", std::uint64_t{ra.runtime}},
-                    {"buffered_runtime", std::uint64_t{rb.runtime}},
-                    {"slowdown", slowdown},
-                    {"twocase_buffered_pct", ra.bufferedPct},
-                    {"buffered_buffered_pct", rb.bufferedPct}});
-    }
-    return 0;
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

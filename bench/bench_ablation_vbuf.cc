@@ -10,12 +10,11 @@
  * the skewed multiprogrammed schedule of Figure 7.
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 #include "trace/export.hh"
 
 using namespace fugu;
@@ -25,17 +24,14 @@ namespace
 {
 
 double
-peakFrames(glaze::MachineConfig mcfg, const AppFactory &app,
-           const std::string &trace_path = "")
+peakFrames(glaze::MachineConfig mcfg, const glaze::GangConfig &gcfg,
+           const AppFactory &app, const std::string &trace_path = "")
 {
     if (!trace_path.empty())
         mcfg.trace.enabled = true;
     glaze::Machine m(mcfg);
     glaze::Job *job = m.addJob("app", app(mcfg.nodes, mcfg.seed));
     m.addJob("null", apps::makeNullApp());
-    glaze::GangConfig gcfg;
-    gcfg.quantum = 100000;
-    gcfg.skew = 0.3;
     m.startGang(gcfg);
     const bool done = m.runUntilDone(job, 100000000000ull);
     if (!trace_path.empty()) {
@@ -58,47 +54,65 @@ peakFrames(glaze::MachineConfig mcfg, const AppFactory &app,
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("ablation_vbuf", argc, argv);
-
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
     // A pinned system reserves worst-case buffer space per process;
     // 16 pages/process is a modest static reservation.
-    constexpr unsigned kPinned = 16;
+    unsigned pinnedPages = 16;
 
-    const auto &names = Workloads::names();
-    std::vector<double> virt(names.size());
-    std::vector<double> pinned(names.size());
-    parallelFor(names.size() * 2, [&](std::size_t i) {
-        const std::size_t app = i / 2;
-        glaze::MachineConfig cfg;
-        cfg.nodes = 8;
-        if (i % 2 == 0) {
-            virt[app] = peakFrames(cfg, wl.factory(names[app]),
-                                   i == 0 ? trace_path : std::string());
-        } else {
-            cfg.pinnedBufferPages = kPinned;
-            pinned[app] = peakFrames(cfg, wl.factory(names[app]));
+    BenchSpec spec;
+    spec.name = "ablation_vbuf";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.gang.quantum = 100000;
+        ctx.gang.skew = 0.3;
+    };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("abl");
+        b.item("pinned_pages", pinnedPages,
+               "per-process static buffer reservation for the "
+               "pinned-comparison runs",
+               "pages");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        const auto &names = Workloads::names();
+        std::vector<double> virt(names.size());
+        std::vector<double> pinned(names.size());
+        parallelFor(names.size() * 2, [&](std::size_t i) {
+            const std::size_t app = i / 2;
+            glaze::MachineConfig cfg = ctx.machine;
+            if (i % 2 == 0) {
+                virt[app] = peakFrames(
+                    cfg, ctx.gang, ctx.workloads.factory(names[app]),
+                    i == 0 ? ctx.tracePath : std::string());
+            } else {
+                cfg.pinnedBufferPages = pinnedPages;
+                pinned[app] = peakFrames(
+                    cfg, ctx.gang, ctx.workloads.factory(names[app]));
+            }
+        });
+
+        std::printf(
+            "Ablation: virtual vs pinned buffering — peak frames "
+            "in use on any node (pool=%u/node)\n",
+            ctx.machine.framesPerNode);
+        TablePrinter t({"App", "virtual (on demand)",
+                        "pinned (" + std::to_string(pinnedPages) +
+                            "/proc)"},
+                       {8, 20, 18});
+        t.printHeader();
+        ctx.report.meta("nodes", ctx.machine.nodes);
+        ctx.report.meta("pinned_pages_per_proc", pinnedPages);
+
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            t.printRow({names[i],
+                        virt[i] < 0 ? "STUCK"
+                                    : TablePrinter::num(virt[i]),
+                        pinned[i] < 0 ? "STUCK"
+                                      : TablePrinter::num(pinned[i])});
+            ctx.report.row({{"app", names[i]},
+                            {"virtual_peak_frames", virt[i]},
+                            {"pinned_peak_frames", pinned[i]}});
         }
-    });
-
-    std::printf("Ablation: virtual vs pinned buffering — peak frames "
-                "in use on any node (pool=64/node)\n");
-    TablePrinter t({"App", "virtual (on demand)", "pinned (16/proc)"},
-                   {8, 20, 18});
-    t.printHeader();
-    report.meta("nodes", 8u);
-    report.meta("pinned_pages_per_proc", kPinned);
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        t.printRow(
-            {names[i],
-             virt[i] < 0 ? "STUCK" : TablePrinter::num(virt[i]),
-             pinned[i] < 0 ? "STUCK" : TablePrinter::num(pinned[i])});
-        report.row({{"app", names[i]},
-                    {"virtual_peak_frames", virt[i]},
-                    {"pinned_peak_frames", pinned[i]}});
-    }
-    return 0;
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -13,8 +13,9 @@
  *    exercises stale-entry compaction (the seed kernel's heap grew by
  *    one dead entry per reschedule, forever).
  *
- * Scale with FUGU_BENCH_N (default 2,000,000 events per section,
- * 200,000 under FUGU_QUICK). Writes BENCH_engine.json with --json.
+ * Scale with engine.events / FUGU_BENCH_N (default 2,000,000 events
+ * per section, 200,000 under FUGU_QUICK). Writes BENCH_engine.json
+ * with --json.
  */
 
 #include <algorithm>
@@ -25,8 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 #include "sim/event.hh"
 #include "trace/trace.hh"
 
@@ -275,52 +275,65 @@ benchReschedule(std::uint64_t n)
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("engine", argc, argv);
-
+    // Env shorthands resolve into the registered default, so
+    // engine.events set from a scenario or --set still wins.
     std::uint64_t n = std::getenv("FUGU_QUICK") ? 200000 : 2000000;
     if (const char *env = std::getenv("FUGU_BENCH_N")) {
         const long long v = std::atoll(env);
         if (v > 0)
             n = static_cast<std::uint64_t>(v);
     }
-    report.meta("events_per_section", n);
-    report.meta("in_flight", std::uint64_t{64});
-    report.meta("units", "host events/sec");
+    unsigned reps = 8;
 
-    std::printf("Event-kernel throughput (%llu events/section)\n",
-                static_cast<unsigned long long>(n));
-    std::printf("%-16s  %12s  %8s  %14s\n", "section", "events",
-                "secs", "events/sec");
-    std::printf("%-16s  %12s  %8s  %14s\n", "----------------",
-                "------------", "--------", "--------------");
-
-    const Section sections[] = {
-        benchScheduleFire(n),
-        benchEventFire(n),
-        benchScheduleCancel(n),
-        benchReschedule(n),
+    BenchSpec spec;
+    spec.name = "engine";
+    spec.defaults = [](BenchContext &ctx) {
+        // Only used for the --trace exemplar run below.
+        ctx.machine.nodes = 2;
     };
-    for (const Section &s : sections) {
-        std::printf("%-16s  %12llu  %8.3f  %14.0f\n", s.name,
-                    static_cast<unsigned long long>(s.events), s.secs,
-                    s.eps);
-        report.row({{"section", s.name},
-                    {"events", s.events},
-                    {"secs", s.secs},
-                    {"events_per_sec", s.eps}});
-    }
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("engine");
+        b.item("events", n, "events per measured section");
+        b.item("reps", reps,
+               "base/gated pairs in the trace-overhead gate");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        ctx.report.meta("events_per_section", n);
+        ctx.report.meta("in_flight", std::uint64_t{64});
+        ctx.report.meta("units", "host events/sec");
 
-    if (!trace_path.empty()) {
-        // This bench has no machine of its own; trace a small
-        // two-node barrier run so --trace works uniformly.
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 2;
-        Workloads wl;
-        runJob(mcfg, wl.factory("barrier"), /*with_null=*/false,
-               /*gang=*/false, glaze::GangConfig{}, 100000000000ull,
-               trace_path);
-    }
+        std::printf("Event-kernel throughput (%llu events/section)\n",
+                    static_cast<unsigned long long>(n));
+        std::printf("%-16s  %12s  %8s  %14s\n", "section", "events",
+                    "secs", "events/sec");
+        std::printf("%-16s  %12s  %8s  %14s\n", "----------------",
+                    "------------", "--------", "--------------");
 
-    return benchTraceOverhead(report, n, /*reps=*/8);
+        const Section sections[] = {
+            benchScheduleFire(n),
+            benchEventFire(n),
+            benchScheduleCancel(n),
+            benchReschedule(n),
+        };
+        for (const Section &s : sections) {
+            std::printf("%-16s  %12llu  %8.3f  %14.0f\n", s.name,
+                        static_cast<unsigned long long>(s.events),
+                        s.secs, s.eps);
+            ctx.report.row({{"section", s.name},
+                            {"events", s.events},
+                            {"secs", s.secs},
+                            {"events_per_sec", s.eps}});
+        }
+
+        if (!ctx.tracePath.empty()) {
+            // This bench has no machine of its own; trace a small
+            // two-node barrier run so --trace works uniformly.
+            runJob(ctx.machine, ctx.workloads.factory("barrier"),
+                   /*with_null=*/false, /*gang=*/false, ctx.gang,
+                   ctx.maxCycles, ctx.tracePath);
+        }
+
+        return benchTraceOverhead(ctx.report, n, reps);
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -10,12 +10,11 @@
  * drain can no longer keep up, so the system stays in buffered mode).
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -23,72 +22,92 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("fig10_buffered_cost", argc, argv);
+    std::vector<unsigned> ns{10, 100, 1000};
+    std::vector<std::uint64_t> extras{0, 100, 200, 400, 800, 1600};
+    unsigned groupsTotal = 3000;
 
-    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
-    const unsigned groupsTotal = 3000;
-
-    const unsigned ns[] = {10, 100, 1000};
-    const Cycle extras[] = {0, 100, 200, 400, 800, 1600};
-
-    struct Point
-    {
-        unsigned n;
-        Cycle extra;
+    BenchSpec spec;
+    spec.name = "fig10_buffered_cost";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 4;
+        ctx.gang.quantum = 100000;
+        ctx.gang.skew = 0.01;
+        ctx.workloads.synth.tBetween = 275;
+        ctx.workloads.synth.handlerStall = 200;
+        ctx.maxCycles = 20000000000ull;
     };
-    std::vector<Point> points;
-    for (unsigned n : ns)
-        for (Cycle extra : extras)
-            points.push_back({n, extra});
-
-    std::vector<RunStats> results(points.size());
-    parallelFor(points.size(), [&](std::size_t i) {
-        apps::SynthAppConfig scfg;
-        scfg.n = points[i].n;
-        scfg.groups = std::max(1u, groupsTotal / points[i].n);
-        scfg.tBetween = 275;
-        scfg.handlerStall = 200;
-        AppFactory factory = [scfg](unsigned nodes,
-                                    std::uint64_t seed) {
-            apps::SynthAppConfig c = scfg;
-            c.seed = seed;
-            return apps::makeSynthApp(nodes, c);
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("fig10");
+        b.list("ns", ns, "synth-N sweep: messages per request group");
+        b.list("extras", extras,
+               "artificial latency added to the buffered path (on "
+               "top of costs.buffered_path_extra)",
+               "cycles");
+        b.item("groups_total", groupsTotal,
+               "total requests per node (groups = groups_total/N)");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        struct Point
+        {
+            unsigned n;
+            Cycle extra;
         };
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 4;
-        mcfg.costs.bufferedPathExtra = points[i].extra;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = 0.01;
-        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
-                               /*gang=*/true, gcfg, trials,
-                               20000000000ull,
-                               i == 0 ? trace_path : std::string());
-    });
+        std::vector<Point> points;
+        for (unsigned n : ns)
+            for (Cycle extra : extras)
+                points.push_back({n, extra});
 
-    std::printf("Figure 10: %% messages buffered vs buffered-path cost "
-                "(synth-N, T_betw=275, 1%% skew)\n");
-    TablePrinter t({"N", "extra", "path-cost", "%buffered"},
-                   {6, 7, 10, 10});
-    t.printHeader();
-    report.meta("trials", trials);
-    report.meta("nodes", 4u);
+        std::vector<RunStats> results(points.size());
+        parallelFor(points.size(), [&](std::size_t i) {
+            apps::SynthAppConfig scfg = ctx.workloads.synth;
+            scfg.n = points[i].n;
+            scfg.groups = std::max(1u, groupsTotal / points[i].n);
+            AppFactory factory = [scfg](unsigned nodes,
+                                        std::uint64_t seed) {
+                apps::SynthAppConfig c = scfg;
+                c.seed = seed;
+                return apps::makeSynthApp(nodes, c);
+            };
+            glaze::MachineConfig mcfg = ctx.machine;
+            mcfg.costs.bufferedPathExtra += points[i].extra;
+            results[i] = runTrials(
+                mcfg, factory, /*with_null=*/true, /*gang=*/true,
+                ctx.gang, ctx.trials, ctx.maxCycles,
+                i == 0 ? ctx.tracePath : std::string());
+        });
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const RunStats &r = results[i];
-        const Cycle extra = points[i].extra;
-        t.printRow({TablePrinter::num(points[i].n),
-                    TablePrinter::num(static_cast<double>(extra)),
-                    TablePrinter::num(static_cast<double>(
-                        232 + extra)), // base buffered path + extra
-                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                                : "STUCK"});
-        report.row({{"n", points[i].n},
-                    {"extra", std::uint64_t{extra}},
-                    {"path_cost", std::uint64_t{232 + extra}},
-                    {"completed", r.completed},
-                    {"buffered_pct", r.bufferedPct}});
-    }
-    return 0;
+        std::printf(
+            "Figure 10: %% messages buffered vs buffered-path cost "
+            "(synth-N, T_betw=%llu, %g%% skew)\n",
+            static_cast<unsigned long long>(
+                ctx.workloads.synth.tBetween),
+            ctx.gang.skew * 100);
+        TablePrinter t({"N", "extra", "path-cost", "%buffered"},
+                       {6, 7, 10, 10});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunStats &r = results[i];
+            const Cycle extra = points[i].extra;
+            // Base buffered path (232 cycles at default costs) plus
+            // the sweep's artificial extra.
+            const Cycle pathCost =
+                232 + ctx.machine.costs.bufferedPathExtra + extra;
+            t.printRow(
+                {TablePrinter::num(points[i].n),
+                 TablePrinter::num(static_cast<double>(extra)),
+                 TablePrinter::num(static_cast<double>(pathCost)),
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK"});
+            ctx.report.row({{"n", points[i].n},
+                            {"extra", std::uint64_t{extra}},
+                            {"path_cost", std::uint64_t{pathCost}},
+                            {"completed", r.completed},
+                            {"buffered_pct", r.bufferedPct}});
+        }
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -12,11 +12,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -24,70 +22,81 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("fig7_buffered_fraction", argc, argv);
+    std::vector<double> skews{0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
 
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
-    const unsigned trials =
-        std::getenv("FUGU_QUICK") ? 1 : 3;
-
-    const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
-
-    // One sweep point per (app, skew). Every point builds private
-    // machines, so the whole grid runs on the worker pool and rows
-    // print afterwards in sweep order, identical to a serial run.
-    struct Point
-    {
-        std::string app;
-        double skew;
+    BenchSpec spec;
+    spec.name = "fig7_buffered_fraction";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.gang.quantum = 100000;
     };
-    std::vector<Point> points;
-    for (const auto &name : Workloads::names())
-        for (double skew : skews)
-            points.push_back({name, skew});
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("fig7");
+        b.list("skews", skews,
+               "gang-scheduler clock-skew sweep (fraction of the "
+               "quantum)");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        // One sweep point per (app, skew). Every point builds private
+        // machines, so the whole grid runs on the worker pool and
+        // rows print afterwards in sweep order, identical to a serial
+        // run.
+        struct Point
+        {
+            std::string app;
+            double skew;
+        };
+        std::vector<Point> points;
+        for (const auto &name : Workloads::names())
+            for (double skew : skews)
+                points.push_back({name, skew});
 
-    std::vector<RunStats> results(points.size());
-    parallelFor(points.size(), [&](std::size_t i) {
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 8;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = points[i].skew;
-        // --trace records the most adverse barrier point (skew 40%).
-        const bool traced =
-            points[i].app == "barrier" && points[i].skew == 0.4;
-        results[i] =
-            runTrials(mcfg, wl.factory(points[i].app),
-                      /*with_null=*/true, /*gang=*/true, gcfg, trials,
-                      100000000000ull,
-                      traced ? trace_path : std::string());
-    });
+        const double worst = skews.empty() ? 0.0 : skews.back();
+        std::vector<RunStats> results(points.size());
+        parallelFor(points.size(), [&](std::size_t i) {
+            glaze::MachineConfig mcfg = ctx.machine;
+            glaze::GangConfig gcfg = ctx.gang;
+            gcfg.skew = points[i].skew;
+            // --trace records the most adverse barrier point.
+            const bool traced = points[i].app == "barrier" &&
+                                points[i].skew == worst;
+            results[i] = runTrials(
+                mcfg, ctx.workloads.factory(points[i].app),
+                /*with_null=*/true, /*gang=*/true, gcfg, ctx.trials,
+                ctx.maxCycles,
+                traced ? ctx.tracePath : std::string());
+        });
 
-    std::printf("Figure 7: %% messages buffered vs schedule skew "
-                "(app + null, gang quantum 100k, %u trial(s))\n",
-                trials);
-    TablePrinter t({"App", "skew", "%buffered", "maxpages", "runtime"},
-                   {8, 6, 10, 8, 12});
-    t.printHeader();
-    report.meta("trials", trials);
-    report.meta("nodes", 8u);
+        std::printf(
+            "Figure 7: %% messages buffered vs schedule skew "
+            "(app + null, gang quantum %llu, %u trial(s))\n",
+            static_cast<unsigned long long>(ctx.gang.quantum),
+            ctx.trials);
+        TablePrinter t(
+            {"App", "skew", "%buffered", "maxpages", "runtime"},
+            {8, 6, 10, 8, 12});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const RunStats &r = results[i];
-        const double skew = points[i].skew;
-        t.printRow({points[i].app,
-                    TablePrinter::num(skew * 100, 0) + "%",
-                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                                : "STUCK",
-                    TablePrinter::num(r.maxVbufPages),
-                    TablePrinter::num(static_cast<double>(r.runtime))});
-        report.row({{"app", points[i].app},
-                    {"skew", skew},
-                    {"completed", r.completed},
-                    {"buffered_pct", r.bufferedPct},
-                    {"max_vbuf_pages", r.maxVbufPages},
-                    {"runtime", std::uint64_t{r.runtime}}});
-    }
-    return 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunStats &r = results[i];
+            const double skew = points[i].skew;
+            t.printRow(
+                {points[i].app, TablePrinter::num(skew * 100, 0) + "%",
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK",
+                 TablePrinter::num(r.maxVbufPages),
+                 TablePrinter::num(static_cast<double>(r.runtime))});
+            ctx.report.row(
+                {{"app", points[i].app},
+                 {"skew", skew},
+                 {"completed", r.completed},
+                 {"buffered_pct", r.bufferedPct},
+                 {"max_vbuf_pages", r.maxVbufPages},
+                 {"runtime", std::uint64_t{r.runtime}}});
+        }
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -11,11 +11,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -23,83 +21,91 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("fig8_slowdown", argc, argv);
+    std::vector<double> skews{0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
 
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
-    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
-
-    const double skews[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4};
-
-    // The whole (app, skew) grid runs on the worker pool; the
-    // normalization to each app's zero-skew baseline happens while
-    // printing, after all runtimes are in.
-    struct Point
-    {
-        std::string app;
-        double skew;
+    BenchSpec spec;
+    spec.name = "fig8_slowdown";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.gang.quantum = 100000;
     };
-    std::vector<Point> points;
-    for (const auto &name : Workloads::names())
-        for (double skew : skews)
-            points.push_back({name, skew});
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("fig8");
+        b.list("skews", skews,
+               "gang-scheduler clock-skew sweep (fraction of the "
+               "quantum); the first entry is the normalization base");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        // The whole (app, skew) grid runs on the worker pool; the
+        // normalization to each app's first-skew baseline happens
+        // while printing, after all runtimes are in.
+        struct Point
+        {
+            std::string app;
+            double skew;
+        };
+        std::vector<Point> points;
+        for (const auto &name : Workloads::names())
+            for (double skew : skews)
+                points.push_back({name, skew});
 
-    std::vector<RunStats> results(points.size());
-    parallelFor(points.size(), [&](std::size_t i) {
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 8;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = points[i].skew;
-        const bool traced =
-            points[i].app == "barrier" && points[i].skew == 0.4;
-        results[i] =
-            runTrials(mcfg, wl.factory(points[i].app),
-                      /*with_null=*/true, /*gang=*/true, gcfg, trials,
-                      100000000000ull,
-                      traced ? trace_path : std::string());
-    });
+        const double worst = skews.empty() ? 0.0 : skews.back();
+        std::vector<RunStats> results(points.size());
+        parallelFor(points.size(), [&](std::size_t i) {
+            glaze::MachineConfig mcfg = ctx.machine;
+            glaze::GangConfig gcfg = ctx.gang;
+            gcfg.skew = points[i].skew;
+            const bool traced = points[i].app == "barrier" &&
+                                points[i].skew == worst;
+            results[i] = runTrials(
+                mcfg, ctx.workloads.factory(points[i].app),
+                /*with_null=*/true, /*gang=*/true, gcfg, ctx.trials,
+                ctx.maxCycles,
+                traced ? ctx.tracePath : std::string());
+        });
 
-    std::printf("Figure 8: relative runtime vs schedule skew "
-                "(normalized to zero-skew multiprogrammed run)\n");
-    TablePrinter t({"App", "skew", "rel.runtime", "%buffered"},
-                   {8, 6, 12, 10});
-    t.printHeader();
-    report.meta("trials", trials);
-    report.meta("nodes", 8u);
+        std::printf(
+            "Figure 8: relative runtime vs schedule skew "
+            "(normalized to zero-skew multiprogrammed run)\n");
+        TablePrinter t({"App", "skew", "rel.runtime", "%buffered"},
+                       {8, 6, 12, 10});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
 
-    std::string curApp;
-    double base = 0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const std::string &name = points[i].app;
-        const double skew = points[i].skew;
-        const RunStats &r = results[i];
-        if (name != curApp) { // first (zero-skew) row of a new app
-            curApp = name;
-            base = 0;
-        }
-        if (!r.completed) {
+        std::string curApp;
+        double base = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::string &name = points[i].app;
+            const double skew = points[i].skew;
+            const RunStats &r = results[i];
+            if (name != curApp) { // first row of a new app
+                curApp = name;
+                base = 0;
+            }
+            if (!r.completed) {
+                t.printRow({name, TablePrinter::num(skew * 100) + "%",
+                            "STUCK", "-"});
+                ctx.report.row({{"app", name},
+                                {"skew", skew},
+                                {"completed", false}});
+                continue;
+            }
+            if (base == 0)
+                base = static_cast<double>(r.runtime);
+            const double rel =
+                base > 0 ? static_cast<double>(r.runtime) / base : 1.0;
             t.printRow({name, TablePrinter::num(skew * 100) + "%",
-                        "STUCK", "-"});
-            report.row({{"app", name},
-                        {"skew", skew},
-                        {"completed", false}});
-            continue;
+                        TablePrinter::num(rel, 3),
+                        TablePrinter::num(r.bufferedPct, 2)});
+            ctx.report.row({{"app", name},
+                            {"skew", skew},
+                            {"completed", true},
+                            {"rel_runtime", rel},
+                            {"buffered_pct", r.bufferedPct},
+                            {"runtime", std::uint64_t{r.runtime}}});
         }
-        if (skew == 0.0)
-            base = static_cast<double>(r.runtime);
-        const double rel =
-            base > 0 ? static_cast<double>(r.runtime) / base : 1.0;
-        t.printRow({name, TablePrinter::num(skew * 100) + "%",
-                    TablePrinter::num(rel, 3),
-                    TablePrinter::num(r.bufferedPct, 2)});
-        report.row({{"app", name},
-                    {"skew", skew},
-                    {"completed", true},
-                    {"rel_runtime", rel},
-                    {"buffered_pct", r.bufferedPct},
-                    {"runtime", std::uint64_t{r.runtime}}});
-    }
-    return 0;
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

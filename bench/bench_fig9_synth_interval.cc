@@ -11,12 +11,11 @@
  * small send intervals.
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -24,70 +23,82 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("fig9_synth_interval", argc, argv);
+    std::vector<unsigned> ns{10, 100, 1000};
+    std::vector<std::uint64_t> intervals{250, 300, 350, 400,
+                                         500, 700, 1000};
+    unsigned groupsTotal = 4000;
 
-    const unsigned trials = std::getenv("FUGU_QUICK") ? 1 : 3;
-    const unsigned groupsTotal = 4000; // total requests per node
-
-    const unsigned ns[] = {10, 100, 1000};
-    const Cycle intervals[] = {250, 300, 350, 400, 500, 700, 1000};
-
-    struct Point
-    {
-        unsigned n;
-        Cycle betw;
+    BenchSpec spec;
+    spec.name = "fig9_synth_interval";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 4;
+        ctx.gang.quantum = 100000;
+        ctx.gang.skew = 0.01;
+        ctx.workloads.synth.handlerStall = 200; // ~290 incl. receive
     };
-    std::vector<Point> points;
-    for (unsigned n : ns)
-        for (Cycle betw : intervals)
-            points.push_back({n, betw});
-
-    std::vector<RunStats> results(points.size());
-    parallelFor(points.size(), [&](std::size_t i) {
-        apps::SynthAppConfig scfg;
-        scfg.n = points[i].n;
-        scfg.groups = std::max(1u, groupsTotal / points[i].n);
-        scfg.tBetween = points[i].betw;
-        scfg.handlerStall = 200; // ~290 incl. receive overhead
-        AppFactory factory = [scfg](unsigned nodes,
-                                    std::uint64_t seed) {
-            apps::SynthAppConfig c = scfg;
-            c.seed = seed;
-            return apps::makeSynthApp(nodes, c);
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("fig9");
+        b.list("ns", ns, "synth-N sweep: messages per request group");
+        b.list("intervals", intervals,
+               "mean send-interval (T_betw) sweep", "cycles");
+        b.item("groups_total", groupsTotal,
+               "total requests per node (groups = groups_total/N)");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        struct Point
+        {
+            unsigned n;
+            Cycle betw;
         };
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 4;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = 0.01;
-        results[i] = runTrials(mcfg, factory, /*with_null=*/true,
-                               /*gang=*/true, gcfg, trials,
-                               100000000000ull,
-                               i == 0 ? trace_path : std::string());
-    });
+        std::vector<Point> points;
+        for (unsigned n : ns)
+            for (Cycle betw : intervals)
+                points.push_back({n, betw});
 
-    std::printf("Figure 9: %% messages buffered vs send interval "
-                "(synth-N, 4 nodes, 1%% skew, T_hand=290)\n");
-    TablePrinter t({"N", "T_betw", "%buffered", "timeouts"},
-                   {6, 8, 10, 9});
-    t.printHeader();
-    report.meta("trials", trials);
-    report.meta("nodes", 4u);
+        std::vector<RunStats> results(points.size());
+        parallelFor(points.size(), [&](std::size_t i) {
+            apps::SynthAppConfig scfg = ctx.workloads.synth;
+            scfg.n = points[i].n;
+            scfg.groups = std::max(1u, groupsTotal / points[i].n);
+            scfg.tBetween = points[i].betw;
+            AppFactory factory = [scfg](unsigned nodes,
+                                        std::uint64_t seed) {
+                apps::SynthAppConfig c = scfg;
+                c.seed = seed;
+                return apps::makeSynthApp(nodes, c);
+            };
+            results[i] = runTrials(
+                ctx.machine, factory, /*with_null=*/true,
+                /*gang=*/true, ctx.gang, ctx.trials, ctx.maxCycles,
+                i == 0 ? ctx.tracePath : std::string());
+        });
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const RunStats &r = results[i];
-        t.printRow(
-            {TablePrinter::num(points[i].n),
-             TablePrinter::num(static_cast<double>(points[i].betw)),
-             r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                         : "STUCK",
-             TablePrinter::num(r.atomicityTimeouts)});
-        report.row({{"n", points[i].n},
-                    {"t_between", std::uint64_t{points[i].betw}},
-                    {"completed", r.completed},
-                    {"buffered_pct", r.bufferedPct},
-                    {"atomicity_timeouts", r.atomicityTimeouts}});
-    }
-    return 0;
+        std::printf("Figure 9: %% messages buffered vs send interval "
+                    "(synth-N, %u nodes, %g%% skew, T_hand=290)\n",
+                    ctx.machine.nodes, ctx.gang.skew * 100);
+        TablePrinter t({"N", "T_betw", "%buffered", "timeouts"},
+                       {6, 8, 10, 9});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
+
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunStats &r = results[i];
+            t.printRow(
+                {TablePrinter::num(points[i].n),
+                 TablePrinter::num(
+                     static_cast<double>(points[i].betw)),
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK",
+                 TablePrinter::num(r.atomicityTimeouts)});
+            ctx.report.row(
+                {{"n", points[i].n},
+                 {"t_between", std::uint64_t{points[i].betw}},
+                 {"completed", r.completed},
+                 {"buffered_pct", r.bufferedPct},
+                 {"atomicity_timeouts", r.atomicityTimeouts}});
+        }
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

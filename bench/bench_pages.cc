@@ -10,11 +10,9 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -22,43 +20,46 @@ using namespace fugu::harness;
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("pages", argc, argv);
+    BenchSpec spec;
+    spec.name = "pages";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.gang.quantum = 100000;
+        ctx.gang.skew = 0.4;
+    };
+    spec.body = [](BenchContext &ctx) {
+        const auto &names = Workloads::names();
+        std::vector<RunStats> results(names.size());
+        parallelFor(names.size(), [&](std::size_t i) {
+            results[i] = runTrials(
+                ctx.machine, ctx.workloads.factory(names[i]),
+                /*with_null=*/true, /*gang=*/true, ctx.gang,
+                ctx.trials, ctx.maxCycles,
+                i == 0 ? ctx.tracePath : std::string());
+        });
 
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+        std::printf(
+            "Physical buffering pages under adverse scheduling "
+            "(skew %g%%; paper: < 7 pages/node)\n",
+            ctx.gang.skew * 100);
+        TablePrinter t({"App", "max vbuf pages/node", "%buffered"},
+                       {8, 20, 10});
+        t.printHeader();
+        ctx.report.meta("skew", ctx.gang.skew);
+        ctx.report.meta("nodes", ctx.machine.nodes);
 
-    const auto &names = Workloads::names();
-    std::vector<RunStats> results(names.size());
-    parallelFor(names.size(), [&](std::size_t i) {
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 8;
-        glaze::GangConfig gcfg;
-        gcfg.quantum = 100000;
-        gcfg.skew = 0.4;
-        results[i] = runTrials(mcfg, wl.factory(names[i]),
-                               /*with_null=*/true, /*gang=*/true, gcfg,
-                               /*trials=*/3, 100000000000ull,
-                               i == 0 ? trace_path : std::string());
-    });
-
-    std::printf("Physical buffering pages under adverse scheduling "
-                "(skew 40%%; paper: < 7 pages/node)\n");
-    TablePrinter t({"App", "max vbuf pages/node", "%buffered"},
-                   {8, 20, 10});
-    t.printHeader();
-    report.meta("skew", 0.4);
-    report.meta("nodes", 8u);
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RunStats &r = results[i];
-        t.printRow({names[i], TablePrinter::num(r.maxVbufPages),
-                    r.completed ? TablePrinter::num(r.bufferedPct, 2)
-                                : "STUCK"});
-        report.row({{"app", names[i]},
-                    {"completed", r.completed},
-                    {"max_vbuf_pages", r.maxVbufPages},
-                    {"buffered_pct", r.bufferedPct}});
-    }
-    return 0;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const RunStats &r = results[i];
+            t.printRow(
+                {names[i], TablePrinter::num(r.maxVbufPages),
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK"});
+            ctx.report.row({{"app", names[i]},
+                            {"completed", r.completed},
+                            {"max_vbuf_pages", r.maxVbufPages},
+                            {"buffered_pct", r.bufferedPct}});
+        }
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

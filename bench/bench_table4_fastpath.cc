@@ -9,10 +9,10 @@
  * read as the node's busy (user+kernel) cycle delta. All costs emerge
  * from the modelled code paths (core::CostModel), so this bench also
  * verifies that the implementation charges exactly the paper's
- * per-stage structure.
+ * per-stage structure (and --set costs.* moves the measured numbers).
  *
  * Doubles as a google-benchmark binary (host performance of the
- * simulator paths).
+ * simulator paths); unrecognized flags pass through to its parser.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,8 +20,7 @@
 #include <cstdio>
 
 #include "apps/common.hh"
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 #include "trace/export.hh"
 
 using namespace fugu;
@@ -31,6 +30,9 @@ using exec::CoTask;
 
 namespace
 {
+
+/** Effective base config, shared with the google-benchmark loops. */
+MachineConfig gBase;
 
 struct PathCosts
 {
@@ -78,8 +80,7 @@ PathCosts
 measureUser(core::AtomicityMode mode,
             const std::string &trace_path = "")
 {
-    MachineConfig cfg;
-    cfg.nodes = 2;
+    MachineConfig cfg = gBase;
     cfg.atomicity = mode;
     cfg.trace.enabled = !trace_path.empty();
     Machine m(cfg);
@@ -131,11 +132,11 @@ pollingReceiver(Process &p, double *poll_cost, bool *got)
 }
 
 double
-measurePolling()
+measurePolling(std::uint64_t polling_timeout)
 {
-    MachineConfig cfg;
-    cfg.nodes = 2;
-    cfg.ni.atomicityTimeout = 1u << 20; // keep revocation out of frame
+    MachineConfig cfg = gBase;
+    cfg.ni.atomicityTimeout =
+        polling_timeout; // keep revocation out of frame
     Machine m(cfg);
     double poll_cost = 0;
     bool got = false;
@@ -158,8 +159,7 @@ measurePolling()
 PathCosts
 measureKernel()
 {
-    MachineConfig cfg;
-    cfg.nodes = 2;
+    MachineConfig cfg = gBase;
     cfg.atomicity = core::AtomicityMode::Kernel;
     Machine m(cfg);
     PathCosts out;
@@ -175,7 +175,8 @@ measureKernel()
 }
 
 void
-printTable(BenchReport &report, const std::string &trace_path)
+printTable(BenchReport &report, const std::string &trace_path,
+           std::uint64_t polling_timeout)
 {
     const PathCosts kernel = measureKernel();
     // The traced run is the fast-path exemplar: one send, one
@@ -183,7 +184,7 @@ printTable(BenchReport &report, const std::string &trace_path)
     const PathCosts hard =
         measureUser(core::AtomicityMode::Hard, trace_path);
     const PathCosts soft = measureUser(core::AtomicityMode::Soft);
-    const double poll = measurePolling();
+    const double poll = measurePolling(polling_timeout);
 
     TablePrinter t({"Item", "kernel", "hard atom", "soft atom",
                     "paper(k/h/s)"},
@@ -240,12 +241,25 @@ BENCHMARK(BM_KernelReceive);
 int
 main(int argc, char **argv)
 {
-    // Constructed first: consumes --trace/--json so google-benchmark's
-    // parser never sees them.
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("table4_fastpath", argc, argv);
-    printTable(report, trace_path);
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    std::uint64_t pollingTimeout = 1u << 20;
+
+    BenchSpec spec;
+    spec.name = "table4_fastpath";
+    spec.passthroughArgs = true; // google-benchmark flags
+    spec.defaults = [](BenchContext &ctx) { ctx.machine.nodes = 2; };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("table4");
+        b.item("polling_timeout", pollingTimeout,
+               "atomicity timeout for the polling measurement (large "
+               "enough to keep revocation out of frame)",
+               "cycles");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        gBase = ctx.machine;
+        printTable(ctx.report, ctx.tracePath, pollingTimeout);
+        ::benchmark::Initialize(&ctx.argc, ctx.argv);
+        ::benchmark::RunSpecifiedBenchmarks();
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

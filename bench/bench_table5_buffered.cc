@@ -9,7 +9,7 @@
  * diverts), the receiver holds an atomic section so drain is deferred
  * and inserts can be counted in isolation, and costs are read as
  * kernel-cycle deltas on the receiving node across runs with 1 and
- * with K messages.
+ * with `table5.burst` messages.
  */
 
 #include <benchmark/benchmark.h>
@@ -17,8 +17,7 @@
 #include <cstdio>
 
 #include "apps/common.hh"
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 #include "trace/export.hh"
 
 using namespace fugu;
@@ -28,6 +27,9 @@ using exec::CoTask;
 
 namespace
 {
+
+/** Effective base config, shared with the google-benchmark loops. */
+MachineConfig gBase;
 
 struct BufferedRun
 {
@@ -70,14 +72,13 @@ burstSender(Process &p, int count)
 BufferedRun
 run(int messages, const std::string &trace_path = "")
 {
-    MachineConfig cfg;
-    cfg.nodes = 2;
+    MachineConfig cfg = gBase;
     cfg.alwaysBuffered = true;
     cfg.trace.enabled = !trace_path.empty();
     Machine m(cfg);
     int received = 0;
-    Job *job =
-        m.addJob("t5", [messages, &received](Process &p) -> CoTask<void> {
+    Job *job = m.addJob(
+        "t5", [messages, &received](Process &p) -> CoTask<void> {
             if (p.node() == 1)
                 return gatedReceiver(p, messages, &received);
             return burstSender(p, messages);
@@ -101,15 +102,16 @@ run(int messages, const std::string &trace_path = "")
 }
 
 void
-printTable(BenchReport &report, const std::string &trace_path)
+printTable(BenchReport &report, const std::string &trace_path,
+           unsigned burst)
 {
     const BufferedRun one = run(1);
     // The traced run is the buffered-path exemplar: every message
     // diverts into the software buffer and drains from it.
-    const BufferedRun many = run(10, trace_path);
+    const BufferedRun many = run(static_cast<int>(burst), trace_path);
     const double insert_max = one.kernelCycles;
     const double insert_min =
-        (many.kernelCycles - one.kernelCycles) / 9.0;
+        (many.kernelCycles - one.kernelCycles) / (burst - 1);
     const double from_buffer = many.handlerMean;
 
     TablePrinter t({"Item", "measured", "paper"}, {40, 10, 8});
@@ -156,12 +158,30 @@ BENCHMARK(BM_BufferedDelivery);
 int
 main(int argc, char **argv)
 {
-    // Constructed first: consumes --trace/--json so google-benchmark's
-    // parser never sees them.
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("table5_buffered", argc, argv);
-    printTable(report, trace_path);
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    unsigned burst = 10;
+
+    BenchSpec spec;
+    spec.name = "table5_buffered";
+    spec.passthroughArgs = true; // google-benchmark flags
+    spec.defaults = [](BenchContext &ctx) { ctx.machine.nodes = 2; };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("table5");
+        b.item("burst", burst,
+               "messages in the many-message run (>= 2; the first "
+               "pays the vmalloc, the rest isolate the minimum "
+               "insert)");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        if (burst < 2) {
+            std::fprintf(stderr,
+                         "table5_buffered: table5.burst must be >= 2\n");
+            return 2;
+        }
+        gBase = ctx.machine;
+        printTable(ctx.report, ctx.tracePath, burst);
+        ::benchmark::Initialize(&ctx.argc, ctx.argv);
+        ::benchmark::RunSpecifiedBenchmarks();
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -6,19 +6,17 @@
  * average cycles per handler (T_hand).
  *
  * Default workload sizes are scaled down so the bench finishes in
- * seconds; set FUGU_PAPER_SCALE=1 for the paper's data sets.
- * Absolute values are not expected to match the 1998 system; the
- * *shape* (ordering of communication rates, barrier being the most
- * communication-intensive, LU the least) should hold. EXPERIMENTS.md
- * records paper-vs-measured.
+ * seconds; set workloads.paper_scale (or FUGU_PAPER_SCALE=1) for the
+ * paper's data sets. Absolute values are not expected to match the
+ * 1998 system; the *shape* (ordering of communication rates, barrier
+ * being the most communication-intensive, LU the least) should hold.
+ * EXPERIMENTS.md records paper-vs-measured.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
-#include "harness/benchjson.hh"
-#include "harness/experiment.hh"
+#include "harness/benchmain.hh"
 
 using namespace fugu;
 using namespace fugu::harness;
@@ -26,6 +24,7 @@ using namespace fugu::harness;
 namespace
 {
 
+/** Table 6 reference rows (the paper's measured system, not knobs). */
 struct PaperRow
 {
     const char *name;
@@ -48,63 +47,68 @@ constexpr PaperRow kPaper[] = {
 int
 main(int argc, char **argv)
 {
-    const std::string trace_path = parseTraceFlag(argc, argv);
-    BenchReport report("table6_appchar", argc, argv);
+    BenchSpec spec;
+    spec.name = "table6_appchar";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 8;
+        ctx.trials = 1;
+    };
+    spec.body = [](BenchContext &ctx) {
+        constexpr std::size_t kApps = std::size(kPaper);
+        std::vector<RunStats> results(kApps);
+        parallelFor(kApps, [&](std::size_t i) {
+            results[i] = runTrials(
+                ctx.machine, ctx.workloads.factory(kPaper[i].name),
+                /*with_null=*/false, /*gang=*/false, ctx.gang,
+                ctx.trials, ctx.maxCycles,
+                i == 0 ? ctx.tracePath : std::string());
+        });
 
-    Workloads wl;
-    wl.paperScale = std::getenv("FUGU_PAPER_SCALE") != nullptr;
+        std::printf(
+            "Table 6: application characteristics, standalone on %u "
+            "nodes%s\n",
+            ctx.machine.nodes,
+            ctx.workloads.paperScale ? " (paper-scale data sets)"
+                                     : " (scaled-down data sets)");
+        TablePrinter t({"App", "Cycles", "Tot msgs", "T_betw",
+                        "T_hand", "paper: cycles/msgs/T_betw/T_hand"},
+                       {8, 12, 10, 8, 8, 34});
+        t.printHeader();
+        ctx.report.meta("paper_scale", ctx.workloads.paperScale);
+        ctx.report.meta("nodes", ctx.machine.nodes);
 
-    constexpr std::size_t kApps = std::size(kPaper);
-    std::vector<RunStats> results(kApps);
-    parallelFor(kApps, [&](std::size_t i) {
-        glaze::MachineConfig mcfg;
-        mcfg.nodes = 8;
-        glaze::GangConfig unused;
-        results[i] = runTrials(mcfg, wl.factory(kPaper[i].name),
-                               /*with_null=*/false, /*gang=*/false,
-                               unused, /*trials=*/1, 100000000000ull,
-                               i == 0 ? trace_path : std::string());
-    });
-
-    std::printf("Table 6: application characteristics, standalone on 8 "
-                "nodes%s\n",
-                wl.paperScale ? " (paper-scale data sets)"
-                              : " (scaled-down data sets)");
-    TablePrinter t({"App", "Cycles", "Tot msgs", "T_betw", "T_hand",
-                    "paper: cycles/msgs/T_betw/T_hand"},
-                   {8, 12, 10, 8, 8, 34});
-    t.printHeader();
-    report.meta("paper_scale", wl.paperScale);
-    report.meta("nodes", 8u);
-
-    for (std::size_t i = 0; i < kApps; ++i) {
-        const PaperRow &row = kPaper[i];
-        const RunStats &r = results[i];
-        if (!r.completed) {
-            t.printRow({row.name, "DID NOT COMPLETE", "-", "-", "-",
-                        "-"});
-            report.row({{"app", row.name}, {"completed", false}});
-            continue;
+        for (std::size_t i = 0; i < kApps; ++i) {
+            const PaperRow &row = kPaper[i];
+            const RunStats &r = results[i];
+            if (!r.completed) {
+                t.printRow({row.name, "DID NOT COMPLETE", "-", "-",
+                            "-", "-"});
+                ctx.report.row(
+                    {{"app", row.name}, {"completed", false}});
+                continue;
+            }
+            char paper[80];
+            std::snprintf(paper, sizeof(paper),
+                          "%.1fM/%.0fk/%.0f/%.0f", row.cycles / 1e6,
+                          row.msgs / 1e3, row.tbetw, row.thand);
+            t.printRow(
+                {row.name,
+                 TablePrinter::num(static_cast<double>(r.runtime)),
+                 TablePrinter::num(static_cast<double>(r.sent)),
+                 TablePrinter::num(r.tBetween),
+                 TablePrinter::num(r.tHand), paper});
+            ctx.report.row({{"app", row.name},
+                            {"completed", true},
+                            {"cycles", std::uint64_t{r.runtime}},
+                            {"messages", r.sent},
+                            {"t_between", r.tBetween},
+                            {"t_hand", r.tHand},
+                            {"paper_cycles", row.cycles},
+                            {"paper_messages", row.msgs},
+                            {"paper_t_between", row.tbetw},
+                            {"paper_t_hand", row.thand}});
         }
-        char paper[80];
-        std::snprintf(paper, sizeof(paper), "%.1fM/%.0fk/%.0f/%.0f",
-                      row.cycles / 1e6, row.msgs / 1e3, row.tbetw,
-                      row.thand);
-        t.printRow({row.name,
-                    TablePrinter::num(static_cast<double>(r.runtime)),
-                    TablePrinter::num(static_cast<double>(r.sent)),
-                    TablePrinter::num(r.tBetween),
-                    TablePrinter::num(r.tHand), paper});
-        report.row({{"app", row.name},
-                    {"completed", true},
-                    {"cycles", std::uint64_t{r.runtime}},
-                    {"messages", r.sent},
-                    {"t_between", r.tBetween},
-                    {"t_hand", r.tHand},
-                    {"paper_cycles", row.cycles},
-                    {"paper_messages", row.msgs},
-                    {"paper_t_between", row.tbetw},
-                    {"paper_t_hand", row.thand}});
-    }
-    return 0;
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
 }

@@ -8,6 +8,11 @@
  * physical pages are ever consumed.
  *
  *   $ ./examples/multiprogram [skew-percent]
+ *   $ ./examples/multiprogram --set gang.skew=0.4 --set machine.nodes=16
+ *
+ * Also a minimal example of driving the simulator from the typed
+ * parameter tree (sim::Config + sim::Binder) without the full bench
+ * harness.
  */
 
 #include <cstdio>
@@ -15,6 +20,7 @@
 
 #include "apps/workloads.hh"
 #include "glaze/machine.hh"
+#include "sim/config.hh"
 
 using namespace fugu;
 using namespace fugu::glaze;
@@ -22,22 +28,67 @@ using namespace fugu::glaze;
 int
 main(int argc, char **argv)
 {
-    const double skew =
-        argc > 1 ? std::atof(argv[1]) / 100.0 : 0.25;
-
+    sim::Config tree;
     MachineConfig cfg;
     cfg.nodes = 8;
-    Machine m(cfg);
-
-    apps::EnumAppConfig ecfg;
-    ecfg.side = 5;
-    apps::EnumResult result;
-    Job *job = m.addJob("enum", apps::makeEnumApp(8, ecfg, &result));
-    m.addJob("null", apps::makeNullApp());
-
     GangConfig gang;
     gang.quantum = 100000;
-    gang.skew = skew;
+    gang.skew = 0.25;
+    apps::EnumAppConfig ecfg;
+    ecfg.side = 5;
+
+    std::string err;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--scenario=", 0) == 0) {
+            if (!tree.loadFile(a.substr(11), &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+        } else if (a == "--set" && i + 1 < argc) {
+            if (!tree.setCli(argv[++i], &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+        } else if (a.rfind("--set=", 0) == 0) {
+            if (!tree.setCli(a.substr(6), &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
+        } else if (!a.empty() && a[0] != '-') {
+            // Legacy positional form: skew as a percentage.
+            gang.skew = std::atof(a.c_str()) / 100.0;
+        } else {
+            std::fprintf(stderr,
+                         "usage: multiprogram [skew-percent] "
+                         "[--scenario=FILE] [--set KEY=VALUE]\n");
+            return 2;
+        }
+    }
+
+    sim::Binder b(tree, sim::Binder::Mode::Apply);
+    bindConfig(b, cfg);
+    bindConfig(b, gang);
+    {
+        auto s = b.push("apps");
+        auto s2 = b.push("enum");
+        apps::bindConfig(b, ecfg);
+    }
+    if (!b.ok()) {
+        std::fprintf(stderr, "%s\n", b.error().c_str());
+        return 2;
+    }
+    if (!tree.checkUnknown(&err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+    }
+
+    Machine m(Machine::fix(cfg));
+
+    apps::EnumResult result;
+    Job *job =
+        m.addJob("enum", apps::makeEnumApp(cfg.nodes, ecfg, &result));
+    m.addJob("null", apps::makeNullApp());
     m.startGang(gang);
 
     if (!m.runUntilDone(job)) {
@@ -61,7 +112,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(result.solutions));
     std::printf("schedule skew %.0f%%: %.0f messages direct, %.0f "
                 "buffered (%.1f%%), peak %u buffer pages/node\n",
-                skew * 100, direct, buffered,
+                gang.skew * 100, direct, buffered,
                 100.0 * buffered / (direct + buffered), max_pages);
     std::printf("the fast case is the common case; buffering caught "
                 "every boundary-crossing message\n");

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario/config-tree registration for the workload configs. Each
+ * app's per-trial seed is set by the harness (from machine.seed), so
+ * the seeds are deliberately not bound here.
+ */
+
+#include "apps/workloads.hh"
+#include "sim/config.hh"
+
+namespace fugu::apps
+{
+
+void
+bindConfig(sim::Binder &b, BarrierAppConfig &c)
+{
+    b.item("barriers", c.barriers, "barriers executed per run");
+    b.item("compute_min", c.computeMin,
+           "min local computation between barriers", "cycles");
+    b.item("compute_max", c.computeMax,
+           "max local computation between barriers", "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, EnumAppConfig &c)
+{
+    b.item("side", c.side,
+           "triangle side (holes = side*(side+1)/2; paper: 6)");
+    b.item("max_states_per_node", c.maxStatesPerNode,
+           "cap on states expanded per node (0 = unbounded)");
+    b.item("expand_cost", c.expandCost,
+           "modelled cycles to expand one state", "cycles");
+    b.item("handler_cost", c.handlerCost,
+           "modelled cycles in the state-receive handler", "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, SynthAppConfig &c)
+{
+    b.item("n", c.n, "requests per synchronization group");
+    b.item("groups", c.groups, "groups per node");
+    b.item("t_between", c.tBetween,
+           "mean inter-send interval (uniform)", "cycles");
+    b.item("handler_stall", c.handlerStall,
+           "consumer stall inside the request handler", "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, LuAppConfig &c)
+{
+    b.item("n", c.n, "matrix dimension (paper: 250)");
+    b.item("block_size", c.blockSize, "block dimension (paper: 10)");
+    b.item("cycles_per_flop", c.cyclesPerFlop,
+           "modelled compute cost incl. loads", "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, WaterAppConfig &c)
+{
+    b.item("molecules", c.molecules, "molecules simulated");
+    b.item("iterations", c.iterations, "timesteps");
+    b.item("cycles_per_pair", c.cyclesPerPair,
+           "modelled cost per molecule pair examined", "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, BarnesAppConfig &c)
+{
+    b.item("bodies", c.bodies, "bodies simulated");
+    b.item("iterations", c.iterations, "timesteps");
+    b.item("cycles_per_interaction", c.cyclesPerInteraction,
+           "modelled cost per body interaction", "cycles");
+}
+
+} // namespace fugu::apps

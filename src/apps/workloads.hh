@@ -17,6 +17,11 @@
 
 #include "apps/common.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::apps
 {
 
@@ -136,6 +141,16 @@ struct BarnesAppConfig
 };
 
 AppBody makeBarnesApp(unsigned nnodes, BarnesAppConfig cfg = {});
+
+/// @name Scenario/config-tree registration (one binder per app)
+/// @{
+void bindConfig(sim::Binder &b, BarrierAppConfig &c);
+void bindConfig(sim::Binder &b, EnumAppConfig &c);
+void bindConfig(sim::Binder &b, SynthAppConfig &c);
+void bindConfig(sim::Binder &b, LuAppConfig &c);
+void bindConfig(sim::Binder &b, WaterAppConfig &c);
+void bindConfig(sim::Binder &b, BarnesAppConfig &c);
+/// @}
 
 } // namespace fugu::apps
 

@@ -1,0 +1,86 @@
+#include "core/costs.hh"
+
+#include "sim/config.hh"
+
+namespace fugu::core
+{
+
+void
+bindConfig(sim::Binder &b, CostModel &c)
+{
+    // Send (Table 4).
+    b.item("descriptor_construction", c.descriptorConstruction,
+           "null-message descriptor construction", "cycles");
+    b.item("per_send_arg_word", c.perSendArgWord,
+           "send-side cost per payload word", "cycles");
+    b.item("launch", c.launch, "launch operation", "cycles");
+
+    // Receive, interrupt path (Table 4).
+    b.item("interrupt_overhead", c.interruptOverhead,
+           "interrupt entry overhead", "cycles");
+    b.item("register_save", c.registerSave, "register save", "cycles");
+    b.item("gid_check", c.gidCheck, "GID check (protected modes only)",
+           "cycles");
+    b.item("timer_setup_hard", c.timerSetupHard,
+           "atomicity-timer setup, hardware atomicity", "cycles");
+    b.item("timer_setup_soft", c.timerSetupSoft,
+           "atomicity-timer setup, software atomicity", "cycles");
+    b.item("virtual_buffering_overhead", c.virtualBufferingOverhead,
+           "virtual-buffering bookkeeping on receive", "cycles");
+    b.item("dispatch_kernel", c.dispatchKernel, "kernel-mode dispatch",
+           "cycles");
+    b.item("dispatch_upcall", c.dispatchUpcall,
+           "dispatch + upcall to user", "cycles");
+    b.item("null_handler", c.nullHandler, "null handler incl. dispose",
+           "cycles");
+    b.item("per_receive_arg_word", c.perReceiveArgWord,
+           "fast-path receive cost per payload word", "cycles");
+    b.item("upcall_cleanup", c.upcallCleanup, "upcall cleanup",
+           "cycles");
+    b.item("timer_cleanup_hard", c.timerCleanupHard,
+           "atomicity-timer cleanup, hardware atomicity", "cycles");
+    b.item("timer_cleanup_soft", c.timerCleanupSoft,
+           "atomicity-timer cleanup, software atomicity", "cycles");
+    b.item("register_restore", c.registerRestore, "register restore",
+           "cycles");
+
+    // Receive, polling path (Table 4).
+    b.item("poll", c.poll, "one poll of the message-available flag",
+           "cycles");
+    b.item("poll_dispatch", c.pollDispatch, "polling-path dispatch",
+           "cycles");
+    b.item("poll_null_handler", c.pollNullHandler,
+           "polling-path null handler incl. dispose", "cycles");
+
+    // Buffered path (Table 5 / Figure 10).
+    b.item("buffer_insert_min", c.bufferInsertMin,
+           "buffer-insert handler, no page allocation", "cycles");
+    b.item("vmalloc_extra", c.vmallocExtra,
+           "extra insert cost when a fresh page is allocated",
+           "cycles");
+    b.item("buffer_null_handler", c.bufferNullHandler,
+           "execute null handler from the software buffer", "cycles");
+    b.item("per_buffer_word_x2", c.perBufferWordX2,
+           "per-word extraction cost, doubled to keep integers",
+           "half-cycles");
+    b.item("buffered_path_extra", c.bufferedPathExtra,
+           "Figure 10 knob: artificial latency added to the buffered "
+           "path",
+           "cycles");
+
+    // Operating system costs (not from the paper's tables).
+    b.item("process_switch", c.processSwitch,
+           "gang-scheduler process switch", "cycles");
+    b.item("page_zero_fill", c.pageZeroFill,
+           "demand-zero page fault service", "cycles");
+    b.item("mode_transition", c.modeTransition,
+           "fast<->buffered mode bookkeeping", "cycles");
+    b.item("thread_switch", c.threadSwitch, "user-level thread switch",
+           "cycles");
+    b.item("page_out_latency", c.pageOutLatency,
+           "swap a buffer page to backing store", "cycles");
+    b.item("page_in_latency", c.pageInLatency,
+           "bring a swapped page back", "cycles");
+}
+
+} // namespace fugu::core

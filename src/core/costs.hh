@@ -15,6 +15,11 @@
 
 #include "sim/types.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::core
 {
 
@@ -124,6 +129,9 @@ struct CostModel
                                            : timerCleanupHard;
     }
 };
+
+/** Register every CostModel entry on the scenario/config tree. */
+void bindConfig(sim::Binder &b, CostModel &c);
 
 } // namespace fugu::core
 

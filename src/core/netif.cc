@@ -3,10 +3,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sim/config.hh"
 #include "sim/log.hh"
 
 namespace fugu::core
 {
+
+void
+bindConfig(sim::Binder &b, NetIfConfig &c)
+{
+    b.item("input_queue_msgs", c.inputQueueMsgs,
+           "hardware input queue depth", "messages");
+    b.item("atomicity_timeout", c.atomicityTimeout,
+           "atomicity-timeout preset (a free parameter, Section 4.1)",
+           "cycles");
+}
 
 namespace
 {

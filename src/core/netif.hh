@@ -33,6 +33,11 @@
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::core
 {
 
@@ -58,6 +63,9 @@ struct NetIfConfig
     /** Atomicity-timeout preset, in user cycles (a free parameter). */
     Cycle atomicityTimeout = 4000;
 };
+
+/** Register NetIfConfig's fields on the scenario/config tree. */
+void bindConfig(sim::Binder &b, NetIfConfig &c);
 
 class NetIf : public net::NetSink
 {

@@ -2,10 +2,64 @@
 
 #include <cmath>
 
+#include "sim/config.hh"
 #include "sim/log.hh"
 
 namespace fugu::glaze
 {
+
+void
+bindConfig(sim::Binder &b, MachineConfig &c)
+{
+    {
+        auto s = b.push("machine");
+        b.item("nodes", c.nodes, "number of nodes (processors)");
+        b.enumItem("atomicity", c.atomicity,
+                   {{"kernel", core::AtomicityMode::Kernel},
+                    {"hard", core::AtomicityMode::Hard},
+                    {"soft", core::AtomicityMode::Soft}},
+                   "receive-path atomicity implementation (Table 4)");
+        b.item("frames_per_node", c.framesPerNode,
+               "physical page frames per node", "pages");
+        b.item("always_buffered", c.alwaysBuffered,
+               "ablation: deliver every message via the buffered path");
+        b.item("pinned_buffer_pages", c.pinnedBufferPages,
+               "ablation: frames pinned per process at creation",
+               "pages");
+        b.item("seed", c.seed, "base RNG seed");
+    }
+    {
+        auto s = b.push("net");
+        net::bindConfig(b, c.net);
+    }
+    {
+        auto s = b.push("osnet");
+        net::bindConfig(b, c.osNet);
+    }
+    {
+        auto s = b.push("ni");
+        core::bindConfig(b, c.ni);
+    }
+    {
+        auto s = b.push("costs");
+        core::bindConfig(b, c.costs);
+    }
+    {
+        auto s = b.push("trace");
+        trace::bindConfig(b, c.trace);
+    }
+}
+
+void
+bindConfig(sim::Binder &b, GangConfig &c)
+{
+    auto s = b.push("gang");
+    b.item("quantum", c.quantum, "gang-scheduler timeslice", "cycles");
+    b.item("skew", c.skew,
+           "schedule-quality knob: per-node quantum offset drawn from "
+           "[0, skew*quantum]",
+           "fraction");
+}
 
 Machine::Node::Node(Machine &m, NodeId id)
     : cpu(m.eq, id, &m.root),
@@ -20,6 +74,10 @@ MachineConfig
 Machine::fix(MachineConfig cfg)
 {
     fugu_assert(cfg.nodes >= 1, "machine needs at least one node");
+    // NodeId is 16 bits (and kNoNode is reserved): a larger machine
+    // would silently alias network channels and wrap per-node loops.
+    fugu_assert(cfg.nodes <= kNoNode, "machine of ", cfg.nodes,
+                " nodes exceeds the NodeId address space");
     // Size both meshes to cover the node count: prefer a near-square
     // user mesh and a linear OS network.
     auto fit = [&](net::NetworkConfig &n) {

@@ -26,6 +26,11 @@
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::glaze
 {
 
@@ -81,6 +86,16 @@ struct GangConfig
     double skew = 0.0;
 };
 
+/**
+ * Register the whole machine parameter tree: machine.*, net.*,
+ * osnet.*, ni.*, costs.*, and trace.* (composes the per-layer
+ * binders).
+ */
+void bindConfig(sim::Binder &b, MachineConfig &c);
+
+/** Register the gang-scheduler knobs (gang.*). */
+void bindConfig(sim::Binder &b, GangConfig &c);
+
 class Machine
 {
   public:
@@ -133,6 +148,14 @@ class Machine
     /** Run until the event queue drains or @p until passes. */
     void run(Cycle until = kMaxCycle) { eq.run(until); }
 
+    /**
+     * Canonicalize a config the way the constructor will: size both
+     * meshes to cover the node count. Public so the config layer can
+     * dump the *effective* tree (--dump-config) before building any
+     * machine; applying fix twice is a no-op.
+     */
+    static MachineConfig fix(MachineConfig cfg);
+
     MachineConfig cfg;
     EventQueue eq;
     StatGroup root;
@@ -146,8 +169,6 @@ class Machine
     std::vector<std::unique_ptr<Process>> processes;
 
   private:
-    static MachineConfig fix(MachineConfig cfg);
-
     void scheduleBoundary(NodeId node, std::uint64_t k);
     Process *pickGangTarget(NodeId node, std::uint64_t k);
 

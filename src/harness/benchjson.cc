@@ -83,21 +83,17 @@ JsonValue::write(std::ostream &os) const
     os << '"';
 }
 
-BenchReport::BenchReport(std::string name, int &argc, char **argv)
+BenchReport::BenchReport(std::string name)
     : name_(std::move(name)), path_("BENCH_" + name_ + ".json")
 {
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0) {
-            enabled_ = true;
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            enabled_ = true;
-            path_ = argv[i] + 7;
-        } else {
-            argv[out++] = argv[i];
-        }
-    }
-    argc = out;
+}
+
+void
+BenchReport::enable(const std::string &path)
+{
+    enabled_ = true;
+    if (!path.empty())
+        path_ = path;
 }
 
 BenchReport::~BenchReport()

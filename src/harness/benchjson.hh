@@ -42,21 +42,20 @@ class JsonValue
 
 /**
  * Collects rows of (key, value) cells and writes them as JSON when
- * the binary was invoked with --json. Construction strips the flag
- * from argv so it composes with other argument parsers (e.g.
- * google-benchmark's).
+ * enabled. Flag parsing lives in harness::benchMain (--json), which
+ * calls enable(); a default-constructed report collects rows but
+ * writes nothing.
  */
 class BenchReport
 {
   public:
     using Cell = std::pair<std::string, JsonValue>;
 
-    /**
-     * @param name bench name; default output file BENCH_<name>.json.
-     * @param argc/@p argv the program's arguments; any --json or
-     *        --json=PATH is consumed.
-     */
-    BenchReport(std::string name, int &argc, char **argv);
+    /** @param name bench name; default output BENCH_<name>.json. */
+    explicit BenchReport(std::string name);
+
+    /** Turn on writing; empty @p path keeps the default file. */
+    void enable(const std::string &path = "");
 
     /** Writes the file on destruction if --json was given. */
     ~BenchReport();

@@ -76,31 +76,6 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     return out;
 }
 
-std::string
-parseTraceFlag(int &argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        std::string path;
-        int eat = 0;
-        if (a.rfind("--trace=", 0) == 0) {
-            path = a.substr(8);
-            eat = 1;
-        } else if (a == "--trace" && i + 1 < argc) {
-            path = argv[i + 1];
-            eat = 2;
-        } else {
-            continue;
-        }
-        for (int j = i; j + eat <= argc; ++j)
-            argv[j] = argv[j + eat];
-        argc -= eat;
-        fugu_assert(!path.empty(), "--trace needs a file path");
-        return path;
-    }
-    return "";
-}
-
 namespace
 {
 
@@ -214,6 +189,76 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
     return acc;
 }
 
+Workloads::Workloads()
+{
+    // Scaled-down defaults: every bench finishes in seconds.
+    barnes.bodies = 256;
+    water.molecules = 128;
+    lu.n = 128;
+    lu.blockSize = 16;
+    barrier.barriers = 1500;
+    enumerate.side = 5;
+    enumerate.maxStatesPerNode = 0;
+}
+
+void
+Workloads::bind(sim::Binder &b)
+{
+    {
+        auto s = b.push("workloads");
+        b.item("paper_scale", paperScale,
+               "use the paper's data-set sizes (Table 6) for every "
+               "size the scenario does not set explicitly");
+    }
+    auto s = b.push("apps");
+    {
+        auto s2 = b.push("barnes");
+        apps::bindConfig(b, barnes);
+    }
+    {
+        auto s2 = b.push("water");
+        apps::bindConfig(b, water);
+    }
+    {
+        auto s2 = b.push("lu");
+        apps::bindConfig(b, lu);
+    }
+    {
+        auto s2 = b.push("barrier");
+        apps::bindConfig(b, barrier);
+    }
+    {
+        auto s2 = b.push("enum");
+        apps::bindConfig(b, enumerate);
+    }
+    {
+        auto s2 = b.push("synth");
+        apps::bindConfig(b, synth);
+    }
+}
+
+void
+Workloads::resolvePaperScale(const sim::Config &cfg)
+{
+    if (!paperScale)
+        return;
+    auto scale = [&cfg](const char *key, auto &field, auto paper) {
+        if (!cfg.explicitlySet(key))
+            field = paper;
+    };
+    scale("apps.barnes.bodies", barnes.bodies, 2048u);
+    scale("apps.water.molecules", water.molecules, 512u);
+    scale("apps.lu.n", lu.n, 250u);
+    scale("apps.lu.block_size", lu.blockSize, 25u);
+    scale("apps.barrier.barriers", barrier.barriers, 10000u);
+    scale("apps.enum.side", enumerate.side, 6u);
+    // The full 6-a-side puzzle is enormous; the paper's run is
+    // bounded too (610k messages). Cap per-node expansion so the
+    // workload stays fine-grain but finite.
+    scale("apps.enum.max_states_per_node",
+          enumerate.maxStatesPerNode, std::uint64_t{80000});
+}
+
 const std::vector<std::string> &
 Workloads::names()
 {
@@ -225,52 +270,41 @@ Workloads::names()
 AppFactory
 Workloads::factory(const std::string &name) const
 {
-    const bool paper = paperScale;
     if (name == "barnes") {
-        return [paper](unsigned n, std::uint64_t seed) {
-            BarnesAppConfig cfg;
-            cfg.bodies = paper ? 2048 : 256;
-            cfg.iterations = 3;
+        return [cfg = barnes](unsigned n, std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeBarnesApp(n, cfg);
         };
     }
     if (name == "water") {
-        return [paper](unsigned n, std::uint64_t seed) {
-            WaterAppConfig cfg;
-            cfg.molecules = paper ? 512 : 128;
-            cfg.iterations = 3;
+        return [cfg = water](unsigned n, std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeWaterApp(n, cfg);
         };
     }
     if (name == "lu") {
-        return [paper](unsigned n, std::uint64_t seed) {
-            LuAppConfig cfg;
-            cfg.n = paper ? 250 : 128;
-            cfg.blockSize = paper ? 25 : 16;
+        return [cfg = lu](unsigned n, std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeLuApp(n, cfg);
         };
     }
     if (name == "barrier") {
-        return [paper](unsigned n, std::uint64_t seed) {
-            BarrierAppConfig cfg;
-            cfg.barriers = paper ? 10000 : 1500;
+        return [cfg = barrier](unsigned n, std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeBarrierApp(n, cfg);
         };
     }
     if (name == "enum") {
-        return [paper](unsigned n, std::uint64_t seed) {
-            EnumAppConfig cfg;
-            cfg.side = paper ? 6 : 5;
-            // The full 6-a-side puzzle is enormous; the paper's run is
-            // bounded too (610k messages). Cap per-node expansion so
-            // the workload stays fine-grain but finite.
-            cfg.maxStatesPerNode = paper ? 80000 : 0;
+        return [cfg = enumerate](unsigned n,
+                                 std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeEnumApp(n, cfg, nullptr);
+        };
+    }
+    if (name == "synth") {
+        return [cfg = synth](unsigned n, std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeSynthApp(n, cfg);
         };
     }
     fugu_fatal("unknown workload '", name, "'");

@@ -15,6 +15,7 @@
 
 #include "apps/workloads.hh"
 #include "glaze/machine.hh"
+#include "sim/config.hh"
 
 namespace fugu::harness
 {
@@ -38,6 +39,9 @@ struct RunStats
     double atomicityTimeouts = 0;
     double bufferInserts = 0;   ///< machine-wide buffered insertions
     bool completed = false;
+
+    /** Bitwise equality (replay verification). */
+    bool operator==(const RunStats &) const = default;
 };
 
 /**
@@ -63,12 +67,6 @@ RunStats runTrials(const glaze::MachineConfig &mcfg,
                    const glaze::GangConfig &gcfg, unsigned trials,
                    Cycle max_cycles = 100000000000ull,
                    const std::string &trace_path = "");
-
-/**
- * Consume a "--trace=FILE" (or "--trace FILE") argument from argv.
- * @return the file path, or "" when the flag is absent.
- */
-std::string parseTraceFlag(int &argc, char **argv);
 
 /**
  * Worker threads used by runMany/runTrials: the FUGU_THREADS
@@ -102,12 +100,36 @@ std::vector<RunStats> runMany(std::vector<JobFn> jobs);
 
 /**
  * The named workload set used by the Table 6 / Figure 7-8
- * experiments. Default sizes are scaled down so every bench finishes
- * in seconds; set paperScale for the paper's parameters (Table 6).
+ * experiments, plus the Section 5.2 synthetic workload. Default
+ * sizes are scaled down so every bench finishes in seconds; set
+ * workloads.paper_scale (or FUGU_PAPER_SCALE=1) for the paper's
+ * parameters (Table 6). Every app config is a public member bound on
+ * the scenario tree under apps.<name>.*, so workload parameters are
+ * set from scenario files and --set like every other knob.
  */
 struct Workloads
 {
+    Workloads(); ///< applies the scaled-down default sizes
+
     bool paperScale = false;
+
+    apps::BarnesAppConfig barnes;
+    apps::WaterAppConfig water;
+    apps::LuAppConfig lu;
+    apps::BarrierAppConfig barrier;
+    apps::EnumAppConfig enumerate;
+    apps::SynthAppConfig synth;
+
+    /** Register workloads.paper_scale and the apps.* sections. */
+    void bind(sim::Binder &b);
+
+    /**
+     * With paperScale set, switch every data-set size the user did
+     * not explicitly set to the paper's value (Table 6). Called by
+     * benchMain after the tree is applied, before any dump, so the
+     * dumped config replays identically.
+     */
+    void resolvePaperScale(const sim::Config &cfg);
 
     /** Names in the paper's order. */
     static const std::vector<std::string> &names();

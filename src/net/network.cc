@@ -1,9 +1,27 @@
 #include "net/network.hh"
 
+#include "sim/config.hh"
 #include "sim/log.hh"
 
 namespace fugu::net
 {
+
+void
+bindConfig(sim::Binder &b, NetworkConfig &c)
+{
+    b.item("mesh_x", c.meshX, "mesh width (0 = size from node count)",
+           "nodes");
+    b.item("mesh_y", c.meshY, "mesh height (0 = size from node count)",
+           "nodes");
+    b.item("latency_base", c.latencyBase, "fixed overhead per message",
+           "cycles");
+    b.item("per_hop", c.perHop, "router/wire latency per mesh hop",
+           "cycles");
+    b.item("per_word", c.perWord, "serialization cost per word",
+           "cycles");
+    b.item("channel_capacity_words", c.channelCapacityWords,
+           "max words in flight per (src,dst) channel", "words");
+}
 
 Network::Stats::Stats(StatGroup *parent, const std::string &name)
     : group(name, parent),
@@ -22,6 +40,13 @@ Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
       name_(std::move(name)), arriveName_(name_ + "-arrive")
 {
     fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
+    // key() packs node ids into 16 bits per endpoint; a mesh whose
+    // addresses exceed NodeId would alias channels (and kNoNode must
+    // stay out of the address space). Fail loudly instead.
+    fugu_assert(static_cast<std::uint64_t>(cfg_.meshX) * cfg_.meshY <=
+                    kNoNode,
+                "mesh ", cfg_.meshX, "x", cfg_.meshY,
+                " exceeds the NodeId address space");
     fugu_assert(cfg_.channelCapacityWords >= kMaxMessageWords,
                 "channel must hold at least one max-size message");
 }

@@ -34,6 +34,11 @@
 #include "sim/types.hh"
 #include "trace/trace.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::net
 {
 
@@ -69,6 +74,9 @@ struct NetworkConfig
     /** Max words in flight per (src,dst) channel (back-pressure). */
     unsigned channelCapacityWords = 64;
 };
+
+/** Register NetworkConfig's fields on the scenario/config tree. */
+void bindConfig(sim::Binder &b, NetworkConfig &c);
 
 class Network
 {
@@ -138,6 +146,13 @@ class Network
 
   private:
     using ChannelKey = std::uint32_t;
+
+    // The channel map packs (src,dst) into 16 bits each. NodeId is
+    // currently 16 bits so the pack is lossless by construction; if
+    // NodeId ever widens, this must fail to compile rather than
+    // silently alias channels between distant node pairs.
+    static_assert(sizeof(NodeId) <= 2,
+                  "Network::key packs NodeId into 16 bits");
 
     static ChannelKey
     key(NodeId src, NodeId dst)

@@ -1,0 +1,526 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace fugu::sim
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+validKey(const std::string &k)
+{
+    if (k.empty() || k.front() == '.' || k.back() == '.')
+        return false;
+    for (char c : k) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.')
+            return false;
+    }
+    return k.find("..") == std::string::npos;
+}
+
+bool
+parseBool(const std::string &s, void *out)
+{
+    bool v;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        v = true;
+    else if (s == "false" || s == "0" || s == "no" || s == "off")
+        v = false;
+    else
+        return false;
+    *static_cast<bool *>(out) = v;
+    return true;
+}
+
+bool
+parseU64(const std::string &s, void *out)
+{
+    if (s.empty() || s[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *static_cast<std::uint64_t *>(out) = v;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &s, void *out)
+{
+    std::uint64_t v;
+    if (!parseU64(s, &v) || v > 0xffffffffull)
+        return false;
+    *static_cast<unsigned *>(out) = static_cast<unsigned>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, void *out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *static_cast<double *>(out) = v;
+    return true;
+}
+
+bool
+parseString(const std::string &s, void *out)
+{
+    *static_cast<std::string *>(out) = s;
+    return true;
+}
+
+/** Split on commas, trimming each element; "" -> empty list. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    if (trim(s).empty())
+        return out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = s.find(',', start);
+        out.push_back(trim(s.substr(start, comma - start)));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+template <typename T>
+bool
+parseListOf(const std::string &s, void *out,
+            bool (*elem)(const std::string &, void *))
+{
+    std::vector<T> v;
+    for (const std::string &e : splitList(s)) {
+        T x;
+        if (!elem(e, &x))
+            return false;
+        v.push_back(x);
+    }
+    *static_cast<std::vector<T> *>(out) = std::move(v);
+    return true;
+}
+
+} // namespace
+
+std::string
+ConfigAssignment::where() const
+{
+    if (source == ConfigSource::Cli)
+        return "--set " + key + "=" + value;
+    return file + ":" + std::to_string(line);
+}
+
+bool
+Config::loadString(const std::string &text, const std::string &name,
+                   std::string *err)
+{
+    std::istringstream is(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                *err = name + ":" + std::to_string(lineno) +
+                       ": unterminated [section] header";
+                return false;
+            }
+            section = trim(line.substr(1, line.size() - 2));
+            if (!section.empty() && !validKey(section)) {
+                *err = name + ":" + std::to_string(lineno) +
+                       ": bad section name '" + section + "'";
+                return false;
+            }
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            *err = name + ":" + std::to_string(lineno) +
+                   ": expected 'key = value', got '" + line + "'";
+            return false;
+        }
+        std::string key = trim(line.substr(0, eq));
+        if (!section.empty())
+            key = section + "." + key;
+        if (!validKey(key)) {
+            *err = name + ":" + std::to_string(lineno) +
+                   ": bad parameter name '" + key + "'";
+            return false;
+        }
+        ConfigAssignment a;
+        a.key = std::move(key);
+        a.value = trim(line.substr(eq + 1));
+        a.source = ConfigSource::File;
+        a.file = name;
+        a.line = lineno;
+        asgs_.push_back(std::move(a));
+    }
+    return true;
+}
+
+bool
+Config::loadFile(const std::string &path, std::string *err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        *err = "cannot open scenario file '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    return loadString(text.str(), path, err);
+}
+
+bool
+Config::setCli(const std::string &keyval, std::string *err)
+{
+    const std::size_t eq = keyval.find('=');
+    if (eq == std::string::npos) {
+        *err = "--set expects key=value, got '" + keyval + "'";
+        return false;
+    }
+    ConfigAssignment a;
+    a.key = trim(keyval.substr(0, eq));
+    a.value = trim(keyval.substr(eq + 1));
+    a.source = ConfigSource::Cli;
+    a.file = "--set";
+    if (!validKey(a.key)) {
+        *err = "--set: bad parameter name '" + a.key + "'";
+        return false;
+    }
+    asgs_.push_back(std::move(a));
+    return true;
+}
+
+const ConfigAssignment *
+Config::find(const std::string &key) const
+{
+    const ConfigAssignment *best = nullptr;
+    for (const auto &a : asgs_) {
+        if (a.key != key)
+            continue;
+        // Last CLI assignment wins over any file one; within a
+        // source, later assignments override earlier ones.
+        if (!best || a.source >= best->source)
+            best = &a;
+    }
+    return best;
+}
+
+void
+Config::consume(const std::string &key)
+{
+    for (auto &a : asgs_)
+        if (a.key == key)
+            a.consumed = true;
+}
+
+bool
+Config::checkUnknown(std::string *err) const
+{
+    for (const auto &a : asgs_) {
+        if (!a.consumed) {
+            *err = a.where() + ": unknown parameter '" + a.key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Config::checkUnknownIn(const std::vector<std::string> &sections,
+                       std::string *err,
+                       std::vector<std::string> *skipped) const
+{
+    for (const auto &a : asgs_) {
+        if (a.consumed)
+            continue;
+        const std::string head = a.key.substr(0, a.key.find('.'));
+        if (std::find(sections.begin(), sections.end(), head) ==
+            sections.end()) {
+            if (skipped)
+                skipped->push_back(a.key);
+            continue;
+        }
+        *err = a.where() + ": unknown parameter '" + a.key + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+formatConfigDouble(double v)
+{
+    // Shortest representation that parses back exactly, so dumps
+    // round-trip byte-identically.
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+template <typename T, typename Fmt>
+static std::string
+joinList(const std::vector<T> &v, Fmt fmt)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ",";
+        out += fmt(v[i]);
+    }
+    return out;
+}
+
+std::string
+formatConfigList(const std::vector<double> &v)
+{
+    return joinList(v, formatConfigDouble);
+}
+
+std::string
+formatConfigList(const std::vector<std::uint64_t> &v)
+{
+    return joinList(v,
+                    [](std::uint64_t x) { return std::to_string(x); });
+}
+
+std::string
+formatConfigList(const std::vector<unsigned> &v)
+{
+    return joinList(v, [](unsigned x) { return std::to_string(x); });
+}
+
+void
+Binder::popPrefix()
+{
+    // Drop the trailing "name." segment.
+    fugu_assert(!prefix_.empty() && prefix_.back() == '.');
+    prefix_.pop_back();
+    const std::size_t dot = prefix_.rfind('.');
+    prefix_.erase(dot == std::string::npos ? 0 : dot + 1);
+}
+
+void
+Binder::bindRaw(const std::string &key, std::string current,
+                const std::string &doc, const std::string &units,
+                const std::string &type_name,
+                bool (*parse)(const std::string &, void *), void *out)
+{
+    const std::string full = prefix_ + key;
+    for (const Param &p : params_)
+        fugu_assert(p.key != full, "parameter '", full,
+                    "' registered twice");
+
+    Param p;
+    p.key = full;
+    p.units = units;
+    p.doc = doc;
+
+    const ConfigAssignment *a = cfg_.find(full);
+    cfg_.consume(full);
+    if (mode_ == Mode::Apply && a) {
+        if (!parse(a->value, out)) {
+            if (err_.empty())
+                err_ = a->where() + ": parameter '" + full +
+                       "' expects " + type_name + ", got '" + a->value +
+                       "'";
+            params_.push_back(std::move(p));
+            return;
+        }
+        p.overridden = true;
+    }
+    // In Apply mode `current` was captured before the override was
+    // applied; refresh it so params() reflects the applied value.
+    p.value = (mode_ == Mode::Apply && a) ? a->value : current;
+    params_.push_back(std::move(p));
+}
+
+void
+Binder::item(const std::string &key, bool &v, const std::string &doc,
+             const std::string &units)
+{
+    bindRaw(key, v ? "true" : "false", doc, units, "a boolean",
+            parseBool, &v);
+}
+
+void
+Binder::item(const std::string &key, unsigned &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, std::to_string(v), doc, units, "an unsigned integer",
+            parseUnsigned, &v);
+}
+
+void
+Binder::item(const std::string &key, std::uint64_t &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, std::to_string(v), doc, units, "an unsigned integer",
+            parseU64, &v);
+}
+
+void
+Binder::item(const std::string &key, double &v, const std::string &doc,
+             const std::string &units)
+{
+    bindRaw(key, formatConfigDouble(v), doc, units, "a number",
+            parseDouble, &v);
+}
+
+void
+Binder::item(const std::string &key, std::string &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, v, doc, units, "a string", parseString, &v);
+}
+
+void
+Binder::list(const std::string &key, std::vector<double> &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, formatConfigList(v), doc, units,
+            "a comma-separated list of numbers",
+            [](const std::string &s, void *out) {
+                return parseListOf<double>(s, out, parseDouble);
+            },
+            &v);
+}
+
+void
+Binder::list(const std::string &key, std::vector<std::uint64_t> &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, formatConfigList(v), doc, units,
+            "a comma-separated list of unsigned integers",
+            [](const std::string &s, void *out) {
+                return parseListOf<std::uint64_t>(s, out, parseU64);
+            },
+            &v);
+}
+
+void
+Binder::list(const std::string &key, std::vector<unsigned> &v,
+             const std::string &doc, const std::string &units)
+{
+    bindRaw(key, formatConfigList(v), doc, units,
+            "a comma-separated list of unsigned integers",
+            [](const std::string &s, void *out) {
+                return parseListOf<unsigned>(s, out, parseUnsigned);
+            },
+            &v);
+}
+
+void
+Binder::enumImpl(const std::string &key, int &v,
+                 const std::vector<std::pair<std::string, int>> &opts,
+                 const std::string &doc)
+{
+    std::string current = "?";
+    std::string all;
+    for (const auto &[n, val] : opts) {
+        if (val == v)
+            current = n;
+        if (!all.empty())
+            all += "|";
+        all += n;
+    }
+    struct Ctx
+    {
+        const std::vector<std::pair<std::string, int>> *opts;
+        int *out;
+    };
+    // bindRaw's parser is a plain function pointer; smuggle the
+    // option table through the out pointer.
+    Ctx ctx{&opts, &v};
+    bindRaw(key, current, doc + " (" + all + ")", "", "one of " + all,
+            [](const std::string &s, void *p) {
+                Ctx &c = *static_cast<Ctx *>(p);
+                for (const auto &[n, val] : *c.opts) {
+                    if (n == s) {
+                        *c.out = val;
+                        return true;
+                    }
+                }
+                return false;
+            },
+            &ctx);
+}
+
+std::string
+Binder::dumpText() const
+{
+    std::string out;
+    out += "# Effective fugusim configuration. Replay with:\n";
+    out += "#   <bench> --scenario <this file>\n";
+    for (const Param &p : params_)
+        out += p.key + " = " + p.value + "\n";
+    return out;
+}
+
+std::string
+Binder::listText() const
+{
+    std::size_t kw = 0, vw = 0;
+    for (const Param &p : params_) {
+        kw = std::max(kw, p.key.size());
+        vw = std::max(vw, p.value.size());
+    }
+    std::string out;
+    for (const Param &p : params_) {
+        std::string line = p.key;
+        line += std::string(kw - p.key.size() + 2, ' ');
+        line += p.value;
+        line += std::string(vw - p.value.size() + 2, ' ');
+        line += p.doc;
+        if (!p.units.empty())
+            line += " [" + p.units + "]";
+        out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace fugu::sim

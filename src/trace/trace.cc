@@ -1,9 +1,19 @@
 #include "trace/trace.hh"
 
+#include "sim/config.hh"
 #include "sim/log.hh"
 
 namespace fugu::trace
 {
+
+void
+bindConfig(sim::Binder &b, Options &c)
+{
+    b.item("enabled", c.enabled,
+           "record message-lifecycle trace events");
+    b.item("max_events", c.maxEvents,
+           "trace ring capacity (0 = unbounded)", "events");
+}
 
 const char *
 toString(Type t)

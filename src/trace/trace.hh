@@ -26,6 +26,11 @@
 #include "sim/event.hh"
 #include "sim/types.hh"
 
+namespace fugu::sim
+{
+class Binder;
+}
+
 namespace fugu::trace
 {
 
@@ -127,6 +132,9 @@ struct Options
      */
     std::size_t maxEvents = 1u << 20;
 };
+
+/** Register the tracing knobs on the scenario/config tree. */
+void bindConfig(sim::Binder &b, Options &c);
 
 /**
  * Single-writer ring of TraceEvents. Storage grows in fixed chunks up

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the unified scenario/config layer: parsing, precedence,
+ * diagnostics, dump/parse round-trips, and bit-identical replay of a
+ * run from its own --dump-config output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "glaze/machine.hh"
+#include "harness/experiment.hh"
+#include "sim/config.hh"
+
+using namespace fugu;
+using namespace fugu::sim;
+
+namespace
+{
+
+/** One shared-registry walk over the given structs. */
+void
+bindAll(Binder &b, glaze::MachineConfig &machine,
+        glaze::GangConfig &gang, harness::Workloads &wl)
+{
+    glaze::bindConfig(b, machine);
+    glaze::bindConfig(b, gang);
+    wl.bind(b);
+}
+
+std::string
+dumpAll(Config &tree, glaze::MachineConfig &machine,
+        glaze::GangConfig &gang, harness::Workloads &wl)
+{
+    Binder d(tree, Binder::Mode::Dump);
+    bindAll(d, machine, gang, wl);
+    EXPECT_TRUE(d.ok()) << d.error();
+    return d.dumpText();
+}
+
+TEST(Config, ParsesSectionsCommentsAndValues)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("# comment\n"
+                                "machine.nodes = 16\n"
+                                "\n"
+                                "[gang]\n"
+                                "quantum = 50000  \n"
+                                "skew = 0.25\n"
+                                "[net]\n"
+                                "per_hop = 4\n",
+                                "inline.cfg", &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_TRUE(tree.checkUnknown(&err)) << err;
+    EXPECT_EQ(machine.nodes, 16u);
+    EXPECT_EQ(gang.quantum, 50000u);
+    EXPECT_DOUBLE_EQ(gang.skew, 0.25);
+    EXPECT_EQ(machine.net.perHop, 4u);
+}
+
+TEST(Config, PrecedenceCliBeatsFileBeatsDefault)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("machine.nodes = 16\n"
+                                "gang.quantum = 77\n",
+                                "a.cfg", &err))
+        << err;
+    // A later file overrides an earlier one...
+    ASSERT_TRUE(tree.loadString("machine.nodes = 32\n", "b.cfg", &err))
+        << err;
+    // ...and the CLI beats both, regardless of order.
+    ASSERT_TRUE(tree.setCli("machine.nodes=64", &err)) << err;
+    ASSERT_TRUE(tree.loadString("machine.nodes = 48\n", "c.cfg", &err))
+        << err;
+
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_EQ(machine.nodes, 64u);   // CLI
+    EXPECT_EQ(gang.quantum, 77u);    // file
+    EXPECT_EQ(gang.skew, 0.0);       // default
+    EXPECT_TRUE(tree.explicitlySet("machine.nodes"));
+    EXPECT_FALSE(tree.explicitlySet("gang.skew"));
+}
+
+TEST(Config, UnknownKeyNamesFileAndLine)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("machine.nodes = 4\n"
+                                "machine.nodez = 8\n",
+                                "typo.cfg", &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_FALSE(tree.checkUnknown(&err));
+    EXPECT_NE(err.find("typo.cfg:2"), std::string::npos) << err;
+    EXPECT_NE(err.find("machine.nodez"), std::string::npos) << err;
+}
+
+TEST(Config, TypeMismatchNamesOffender)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("machine.nodes = lots\n", "bad.cfg",
+                                &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    EXPECT_FALSE(b.ok());
+    EXPECT_NE(b.error().find("bad.cfg:1"), std::string::npos)
+        << b.error();
+    EXPECT_NE(b.error().find("machine.nodes"), std::string::npos)
+        << b.error();
+    EXPECT_NE(b.error().find("lots"), std::string::npos) << b.error();
+}
+
+TEST(Config, EnumAndBoolParsing)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("machine.atomicity = soft\n"
+                                "machine.always_buffered = yes\n"
+                                "trace.enabled = 1\n",
+                                "e.cfg", &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_EQ(machine.atomicity, core::AtomicityMode::Soft);
+    EXPECT_TRUE(machine.alwaysBuffered);
+    EXPECT_TRUE(machine.trace.enabled);
+
+    ASSERT_TRUE(tree.setCli("machine.atomicity=firm", &err)) << err;
+    Binder b2(tree, Binder::Mode::Apply);
+    bindAll(b2, machine, gang, wl);
+    EXPECT_FALSE(b2.ok());
+    EXPECT_NE(b2.error().find("kernel|hard|soft"), std::string::npos)
+        << b2.error();
+}
+
+TEST(Config, BadSyntaxAndBadKeysRejected)
+{
+    Config tree;
+    std::string err;
+    EXPECT_FALSE(
+        tree.loadString("machine.nodes 8\n", "s.cfg", &err));
+    EXPECT_NE(err.find("s.cfg:1"), std::string::npos) << err;
+    EXPECT_FALSE(
+        tree.loadString("machine..nodes = 8\n", "s2.cfg", &err));
+    EXPECT_FALSE(tree.setCli("justakeynovalue", &err));
+    EXPECT_FALSE(tree.loadFile("/nonexistent/x.cfg", &err));
+}
+
+TEST(Config, DumpParseDumpIsByteIdentical)
+{
+    // Dump the defaults, parse the dump, dump again: byte-identical.
+    Config tree;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    {
+        Binder apply(tree, Binder::Mode::Apply);
+        bindAll(apply, machine, gang, wl);
+        ASSERT_TRUE(apply.ok()) << apply.error();
+    }
+    const std::string first = dumpAll(tree, machine, gang, wl);
+
+    Config tree2;
+    std::string err;
+    ASSERT_TRUE(tree2.loadString(first, "dump.cfg", &err)) << err;
+    glaze::MachineConfig machine2;
+    glaze::GangConfig gang2;
+    harness::Workloads wl2;
+    {
+        Binder apply(tree2, Binder::Mode::Apply);
+        bindAll(apply, machine2, gang2, wl2);
+        ASSERT_TRUE(apply.ok()) << apply.error();
+        ASSERT_TRUE(tree2.checkUnknown(&err)) << err;
+    }
+    EXPECT_EQ(first, dumpAll(tree2, machine2, gang2, wl2));
+}
+
+TEST(Config, OverriddenDumpReplaysToSameMachineAndStats)
+{
+    // An overridden run, dumped and re-applied, must produce the same
+    // effective machine and bit-identical RunStats.
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.setCli("machine.nodes=4", &err)) << err;
+    ASSERT_TRUE(tree.setCli("gang.skew=0.3", &err)) << err;
+    ASSERT_TRUE(tree.setCli("apps.barrier.barriers=40", &err)) << err;
+
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    gang.quantum = 100000;
+    harness::Workloads wl;
+    {
+        Binder apply(tree, Binder::Mode::Apply);
+        bindAll(apply, machine, gang, wl);
+        ASSERT_TRUE(apply.ok()) << apply.error();
+    }
+    machine = glaze::Machine::fix(machine);
+    const std::string dump = dumpAll(tree, machine, gang, wl);
+
+    Config tree2;
+    ASSERT_TRUE(tree2.loadString(dump, "replay.cfg", &err)) << err;
+    glaze::MachineConfig machine2;
+    glaze::GangConfig gang2;
+    harness::Workloads wl2;
+    {
+        Binder apply(tree2, Binder::Mode::Apply);
+        bindAll(apply, machine2, gang2, wl2);
+        ASSERT_TRUE(apply.ok()) << apply.error();
+        ASSERT_TRUE(tree2.checkUnknown(&err)) << err;
+    }
+    machine2 = glaze::Machine::fix(machine2);
+    EXPECT_EQ(dump, dumpAll(tree2, machine2, gang2, wl2));
+
+    const harness::RunStats a = harness::runTrials(
+        machine, wl.factory("barrier"), /*with_null=*/true,
+        /*gang=*/true, gang, /*trials=*/2);
+    const harness::RunStats b = harness::runTrials(
+        machine2, wl2.factory("barrier"), /*with_null=*/true,
+        /*gang=*/true, gang2, /*trials=*/2);
+    ASSERT_TRUE(a.completed);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Config, ListsRoundTrip)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("sweep.skews = 0, 0.05, 0.125\n"
+                                "sweep.sizes = 1,2,300\n",
+                                "l.cfg", &err))
+        << err;
+    std::vector<double> skews{9.0};
+    std::vector<unsigned> sizes{7};
+    Binder b(tree, Binder::Mode::Apply);
+    {
+        auto s = b.push("sweep");
+        b.list("skews", skews, "d");
+        b.list("sizes", sizes, "d");
+    }
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_EQ(skews, (std::vector<double>{0, 0.05, 0.125}));
+    EXPECT_EQ(sizes, (std::vector<unsigned>{1, 2, 300}));
+    EXPECT_EQ(formatConfigList(skews), "0,0.05,0.125");
+}
+
+TEST(Config, PaperScaleRespectsExplicitKeys)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.setCli("workloads.paper_scale=true", &err)) << err;
+    ASSERT_TRUE(tree.setCli("apps.lu.n=64", &err)) << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    wl.resolvePaperScale(tree);
+    EXPECT_EQ(wl.lu.n, 64u);            // explicit key wins
+    EXPECT_EQ(wl.barnes.bodies, 2048u); // paper value applied
+}
+
+TEST(Config, CheckUnknownInSkipsBenchLocalSections)
+{
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("machine.nodes = 4\n"
+                                "fig7.skews = 0, 0.1\n"
+                                "machine.bogus = 1\n",
+                                "m.cfg", &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+
+    std::vector<std::string> skipped;
+    EXPECT_FALSE(tree.checkUnknownIn({"machine"}, &err, &skipped));
+    EXPECT_NE(err.find("machine.bogus"), std::string::npos) << err;
+
+    Config tree2;
+    ASSERT_TRUE(tree2.loadString("machine.nodes = 4\n"
+                                 "fig7.skews = 0, 0.1\n",
+                                 "m2.cfg", &err))
+        << err;
+    Binder b2(tree2, Binder::Mode::Apply);
+    glaze::MachineConfig machine2;
+    glaze::GangConfig gang2;
+    harness::Workloads wl2;
+    bindAll(b2, machine2, gang2, wl2);
+    ASSERT_TRUE(b2.ok()) << b2.error();
+    skipped.clear();
+    EXPECT_TRUE(tree2.checkUnknownIn({"machine"}, &err, &skipped));
+    ASSERT_EQ(skipped.size(), 1u);
+    EXPECT_EQ(skipped[0], "fig7.skews");
+}
+
+TEST(Config, OversizedMeshFailsLoudly)
+{
+    // net::Network::key packs two NodeIds into 32 bits; a mesh that
+    // overflows the 16-bit NodeId space must fail loudly instead of
+    // silently aliasing channels.
+    detail::setThrowOnError(true);
+    glaze::MachineConfig cfg;
+    cfg.nodes = 70000; // > 0xffff
+    EXPECT_THROW(
+        { auto fixed = glaze::Machine::fix(cfg); (void)fixed; },
+        SimError);
+    detail::setThrowOnError(false);
+}
+
+} // namespace
