@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Adversarial stress sweep: runs each application under every fault
+ * class the deterministic injector supports (packet delay jitter,
+ * input/output queue-full bursts, frame-pool exhaustion, forced
+ * divert storms, atomicity-timeout storms, mid-handler page faults,
+ * and a mixed cocktail) with the machine-wide invariant checker
+ * enabled, and reports per-cell fault-event and violation counts.
+ *
+ * A healthy two-case-delivery implementation survives every cell
+ * with zero violations: faults may slow a run down and force far
+ * more traffic onto the buffered path, but per-sender FIFO order,
+ * content transparency, GID isolation, handler atomicity and
+ * frame-pool conservation must all still hold. The process exits
+ * nonzero if any cell reports a violation or fails to complete, so
+ * CI can run this binary as a single pass/fail gate.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/benchmain.hh"
+
+using namespace fugu;
+using namespace fugu::harness;
+
+namespace
+{
+
+/** Split a comma-separated list, trimming blanks and empty fields. */
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        const auto b = tok.find_first_not_of(" \t");
+        const auto e = tok.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.push_back(tok.substr(b, e - b + 1));
+    }
+    return out;
+}
+
+/**
+ * Enable one named fault class on @p f, scaled by @p intensity.
+ * The base rates are chosen so the default quick run exercises each
+ * mechanism hundreds of times without wedging the schedule.
+ */
+void
+applyFaultClass(sim::FaultConfig &f, const std::string &cls,
+                double intensity)
+{
+    f.enabled = true;
+    if (cls == "jitter") {
+        f.delayJitterProb = 0.30 * intensity;
+    } else if (cls == "inqfull") {
+        f.inputFullProb = 0.05 * intensity;
+    } else if (cls == "outqfull") {
+        f.outputFullProb = 0.30 * intensity;
+    } else if (cls == "framedeny") {
+        f.frameDenyProb = 0.20 * intensity;
+    } else if (cls == "divert") {
+        f.divertStormProb = 0.50 * intensity;
+    } else if (cls == "timeout") {
+        f.atomTimeoutProb = 0.50 * intensity;
+    } else if (cls == "pagefault") {
+        f.pageFaultProb = 0.10 * intensity;
+    } else if (cls == "mixed") {
+        f.delayJitterProb = 0.10 * intensity;
+        f.inputFullProb = 0.02 * intensity;
+        f.outputFullProb = 0.10 * intensity;
+        f.frameDenyProb = 0.05 * intensity;
+        f.divertStormProb = 0.15 * intensity;
+        f.atomTimeoutProb = 0.15 * intensity;
+        f.pageFaultProb = 0.03 * intensity;
+    } else {
+        fugu_fatal("unknown fault class '", cls,
+                   "' (expected jitter, inqfull, outqfull, "
+                   "framedeny, divert, timeout, pagefault or mixed)");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string appsCsv = "barnes,barrier,enum";
+    std::string classesCsv =
+        "jitter,inqfull,outqfull,framedeny,divert,timeout,pagefault,"
+        "mixed";
+    double intensity = 1.0;
+
+    BenchSpec spec;
+    spec.name = "stress";
+    spec.defaults = [](BenchContext &ctx) {
+        ctx.machine.nodes = 4;
+        ctx.gang.quantum = 50000;
+        ctx.gang.skew = 0.2;
+        ctx.trials = 1;
+    };
+    spec.params = [&](sim::Binder &b) {
+        auto s = b.push("stress");
+        b.item("apps", appsCsv,
+               "comma-separated workloads to stress");
+        b.item("classes", classesCsv,
+               "comma-separated fault classes (jitter, inqfull, "
+               "outqfull, framedeny, divert, timeout, pagefault, "
+               "mixed)");
+        b.item("intensity", intensity,
+               "scale factor on every fault-class base rate");
+    };
+    spec.body = [&](BenchContext &ctx) {
+        const std::vector<std::string> apps = splitCsv(appsCsv);
+        const std::vector<std::string> classes = splitCsv(classesCsv);
+        fugu_assert(!apps.empty() && !classes.empty(),
+                    "stress.apps and stress.classes must be "
+                    "non-empty");
+
+        struct Point
+        {
+            std::string app;
+            std::string cls;
+        };
+        std::vector<Point> points;
+        for (const auto &app : apps)
+            for (const auto &cls : classes)
+                points.push_back({app, cls});
+
+        std::vector<RunStats> results(points.size());
+        parallelFor(points.size(), [&](std::size_t i) {
+            glaze::MachineConfig mcfg = ctx.machine;
+            applyFaultClass(mcfg.fault, points[i].cls, intensity);
+            // --trace records the most adverse cell: the last app
+            // under the mixed cocktail (or the last class listed).
+            const bool traced = i + 1 == points.size();
+            results[i] = runTrials(
+                mcfg, ctx.workloads.factory(points[i].app),
+                /*with_null=*/true, /*gang=*/true, ctx.gang,
+                ctx.trials, ctx.maxCycles,
+                traced ? ctx.tracePath : std::string());
+        });
+
+        std::printf(
+            "Stress sweep: %zu app(s) x %zu fault class(es), "
+            "intensity %.2f, %u trial(s)\n",
+            apps.size(), classes.size(), intensity, ctx.trials);
+        TablePrinter t({"App", "Class", "%buffered", "inserts",
+                        "timeouts", "faults", "violations",
+                        "runtime"},
+                       {8, 10, 10, 9, 9, 9, 11, 12});
+        t.printHeader();
+        ctx.report.meta("trials", ctx.trials);
+        ctx.report.meta("nodes", ctx.machine.nodes);
+        ctx.report.meta("intensity", intensity);
+
+        double totalViolations = 0;
+        bool allCompleted = true;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunStats &r = results[i];
+            totalViolations += r.violations;
+            allCompleted = allCompleted && r.completed;
+            t.printRow(
+                {points[i].app, points[i].cls,
+                 r.completed ? TablePrinter::num(r.bufferedPct, 2)
+                             : "STUCK",
+                 TablePrinter::num(r.bufferInserts),
+                 TablePrinter::num(r.atomicityTimeouts),
+                 TablePrinter::num(r.faultEvents),
+                 TablePrinter::num(r.violations),
+                 TablePrinter::num(static_cast<double>(r.runtime))});
+            ctx.report.row(
+                {{"app", points[i].app},
+                 {"class", points[i].cls},
+                 {"completed", r.completed},
+                 {"buffered_pct", r.bufferedPct},
+                 {"buffer_inserts", r.bufferInserts},
+                 {"atomicity_timeouts", r.atomicityTimeouts},
+                 {"fault_events", r.faultEvents},
+                 {"violations", r.violations},
+                 {"runtime", std::uint64_t{r.runtime}}});
+        }
+
+        if (totalViolations > 0) {
+            std::printf("\nFAIL: %.0f invariant violation(s)\n",
+                        totalViolations);
+            return 1;
+        }
+        if (!allCompleted) {
+            std::printf("\nFAIL: at least one cell did not "
+                        "complete within the cycle budget\n");
+            return 1;
+        }
+        std::printf("\nPASS: zero invariant violations across the "
+                    "sweep\n");
+        return 0;
+    };
+    return benchMain(spec, argc, argv);
+}

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace fugu::core
@@ -75,6 +76,11 @@ NetIf::NetIf(exec::Cpu &cpu, net::Network &network, NodeId id,
 bool
 NetIf::tryDeliver(net::Packet &&pkt)
 {
+    // An injected input-full burst is indistinguishable from a real
+    // full queue: the network keeps the packet at the channel head
+    // and re-offers it when the burst expires.
+    if (fault_ && fault_->inputDenied(id_))
+        return false;
     if (inq_.size() >= cfg_.inputQueueMsgs)
         return false;
     inq_.push_back(std::move(pkt));
@@ -135,6 +141,8 @@ NetIf::writeOutput(unsigned offset, Word w)
 bool
 NetIf::spaceAvailable(NodeId dst, unsigned words) const
 {
+    if (fault_ && fault_->outputDenied(id_))
+        return false;
     return network_.canAccept(id_, dst, words);
 }
 
@@ -184,6 +192,8 @@ NetIf::dispose(bool user_mode)
         // The fast (direct) path completes here: the message went
         // from the wire straight into the handler's dispose.
         const net::Packet &f = inq_.front();
+        if (watcher_)
+            watcher_->onDeliver(f, id_, gid_, /*buffered_path=*/false);
         const Cycle lat = cpu_.now() - f.injectedAt;
         stats.fastLatency.sample(static_cast<double>(lat));
         FUGU_TRACE(tracer_, id_, trace::Type::DirectExtract,
@@ -303,6 +313,21 @@ void
 NetIf::subscribeSpace(NodeId dst, std::function<void()> cb)
 {
     network_.subscribeSpace(id_, dst, std::move(cb));
+}
+
+void
+NetIf::injectAtomicityTimeout()
+{
+    // Only a timer that is genuinely armed may fire early; otherwise
+    // the injection would manufacture a timeout the hardware could
+    // never produce (e.g. with no message pending).
+    if (!timerRunning_)
+        return;
+    cpu_.cancelUserTimer();
+    timerRunning_ = false;
+    ++stats.atomicityTimeouts;
+    FUGU_TRACE(tracer_, id_, trace::Type::AtomTimeout);
+    cpu_.raiseIrq(kIrqAtomicityTimeout);
 }
 
 // ---------------------------------------------------------------------

@@ -36,6 +36,7 @@
 namespace fugu::sim
 {
 class Binder;
+class FaultInjector;
 }
 
 namespace fugu::core
@@ -171,6 +172,25 @@ class NetIf : public net::NetSink
     /** Attach a message-lifecycle trace recorder (null to disable). */
     void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach a fault injector: input-queue-full bursts (tryDeliver
+     * refuses arrivals) and output-full bursts (spaceAvailable reads
+     * false). All send paths poll spaceAvailable, so an output burst
+     * stalls but can never deadlock a sender.
+     */
+    void setFault(sim::FaultInjector *fault) { fault_ = fault; }
+
+    /** Attach a packet-lifecycle watcher (the invariant checker). */
+    void setWatcher(net::PacketWatcher *watcher) { watcher_ = watcher; }
+
+    /**
+     * Fault hook: fire the atomicity timer right now, as if the
+     * user's interrupt-disable grace period had just expired. No-op
+     * unless the timer is actually armed — the forced expiry must be
+     * a timing change, never a semantic one.
+     */
+    void injectAtomicityTimeout();
+
     /// @}
 
     struct Stats
@@ -210,6 +230,8 @@ class NetIf : public net::NetSink
     bool timerRunning_ = false;
     bool linesRaised_[exec::kNumIrqLines] = {};
     trace::Recorder *tracer_ = nullptr;
+    sim::FaultInjector *fault_ = nullptr;
+    net::PacketWatcher *watcher_ = nullptr;
 };
 
 } // namespace fugu::core

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Machine-wide invariant checker.
+ *
+ * The paper's central claim is that two-case delivery is *transparent*:
+ * whatever mixture of fast-path and software-buffered delivery a run
+ * happens to take — including fault-injected storms of mode switches —
+ * an application observes exactly the semantics of a reliable,
+ * per-sender-FIFO, protection-checked message layer. This checker
+ * verifies that continuously, from inside the machine:
+ *
+ *  - per-sender FIFO: messages of one (src,dst,gid) stream are
+ *    consumed in injection order, across any number of fast/buffered
+ *    transitions;
+ *  - content transparency: the packet handed to user code is
+ *    bit-identical to the packet injected (checksummed end to end);
+ *  - protection: no packet is ever delivered to a process whose GID
+ *    differs from the packet's stamp, and a handler never observes a
+ *    matching head it should not see;
+ *  - atomicity: a handler only runs inside the hardware atomic section
+ *    (direct path) or under the drain thread's software equivalent,
+ *    and never while the drain is gated behind a suspended user
+ *    atomic section;
+ *  - conservation: every physical frame in use is accounted for by a
+ *    pinned allocation, a resident vbuf page, or a mapped heap page;
+ *  - accounting: the trace's per-cause Divert events sum to the
+ *    kernels' bufferInserts counters.
+ *
+ * The checker is always compiled and on by default; it observes via
+ * the net::PacketWatcher hooks plus a per-dispatch callback, keeps no
+ * RNG and schedules no events, so enabling it never perturbs the
+ * simulation timeline.
+ */
+
+#ifndef FUGU_GLAZE_CHECK_HH
+#define FUGU_GLAZE_CHECK_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace fugu::sim
+{
+class Binder;
+}
+
+namespace fugu::glaze
+{
+
+class Machine;
+class Process;
+
+struct CheckConfig
+{
+    /** Master switch; off removes every hook's work (not the hooks). */
+    bool enabled = true;
+
+    /** Treat any violation as fatal (abort the run). */
+    bool fatal = false;
+
+    /** Verify payload checksums end to end (content transparency). */
+    bool content = true;
+
+    /** Run a frame-conservation sweep every N deliveries (0 = only
+     *  at finalChecks). */
+    std::uint64_t sweepEvery = 64;
+};
+
+/** Register CheckConfig's fields on the scenario/config tree. */
+void bindConfig(sim::Binder &b, CheckConfig &c);
+
+class InvariantChecker final : public net::PacketWatcher
+{
+  public:
+    InvariantChecker(Machine &m, CheckConfig cfg);
+
+    /// @name net::PacketWatcher (user network only)
+    /// @{
+    void onInject(const net::Packet &pkt) override;
+    void onDeliver(const net::Packet &pkt, NodeId node, Gid receiver_gid,
+                   bool buffered_path) override;
+    void onDrop(const net::Packet &pkt, NodeId node) override;
+    /// @}
+
+    /** Called by Process at every handler dispatch, both paths. */
+    void onDispatch(Process &p, bool buffered_path);
+
+    /**
+     * End-of-run checks: frame conservation on every node and Divert
+     * trace events summing to the kernels' bufferInserts. Called by
+     * Machine::runUntilDone on successful completion; harmless to
+     * call more than once.
+     */
+    void finalChecks();
+
+    /** Total violations of any class seen so far. */
+    double totalViolations() const;
+
+    struct Stats
+    {
+        explicit Stats(StatGroup *parent);
+        StatGroup group;
+        Scalar checkedDeliveries;
+        Scalar fifoViolations;
+        Scalar contentViolations;
+        Scalar gidViolations;
+        Scalar atomicityViolations;
+        Scalar conservationViolations;
+        Scalar accountingViolations;
+        Scalar unknownDeliveries;
+    };
+
+    Stats stats;
+
+  private:
+    /** One per-stream key: (src, dst, gid). */
+    static std::uint64_t
+    streamKey(NodeId src, NodeId dst, Gid gid)
+    {
+        return (static_cast<std::uint64_t>(src) << 32) |
+               (static_cast<std::uint64_t>(dst) << 16) | gid;
+    }
+
+    static std::uint64_t checksum(const net::Packet &pkt);
+
+    void report(Scalar &counter, const std::string &msg);
+    void sweepConservation();
+
+    struct PendingMsg
+    {
+        std::uint64_t checksum;
+        std::uint64_t orderIdx; ///< position within its stream
+    };
+
+    Machine &m_;
+    CheckConfig cfg_;
+
+    /** In-flight user messages, keyed by injection seq. */
+    std::unordered_map<std::uint64_t, PendingMsg> pending_;
+
+    /** Next order index to assign / expect, per stream. */
+    std::unordered_map<std::uint64_t, std::uint64_t> sendIdx_;
+    std::unordered_map<std::uint64_t, std::uint64_t> consumeIdx_;
+
+    std::uint64_t deliveries_ = 0;
+};
+
+} // namespace fugu::glaze
+
+#endif // FUGU_GLAZE_CHECK_HH

@@ -1,6 +1,8 @@
 #include "glaze/kernel.hh"
 
+#include "glaze/check.hh"
 #include "glaze/machine.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace fugu::glaze
@@ -51,6 +53,9 @@ OsNic::pop()
 Kernel::Stats::Stats(StatGroup *parent, NodeId id)
     : group("kernel" + std::to_string(id), parent),
       upcalls(&group, "upcalls", "message-available upcalls delivered"),
+      spuriousUpcalls(&group, "spurious_upcalls",
+                      "upcalls whose message was diverted before "
+                      "the stub could dispatch it"),
       bufferInserts(&group, "buffer_inserts",
                     "messages inserted into virtual buffers"),
       kernelMsgs(&group, "kernel_msgs", "kernel messages dispatched"),
@@ -234,8 +239,17 @@ Kernel::onMessageAvailable()
 
     Process *p = current_;
     fugu_assert(p, "message-available with no current process");
-    fugu_assert(ni().messageAvailable(),
-                "message-available stub found no message");
+    if (!ni().messageAvailable()) {
+        // The pending message can vanish while the stub spends its
+        // fixed entry cost: anything that pushes the process into
+        // buffered mode meanwhile (an atomicity-timeout revocation,
+        // a scheduler divert, a fault-forced storm) extracts the NI
+        // queue into the software buffer, and the drain machinery
+        // now owns delivery. Dispatching would peek an empty port;
+        // treat the upcall as spurious instead.
+        ++stats.spuriousUpcalls;
+        co_return;
+    }
 
     // The handler begins execution in an atomic section, with the
     // dispose-pending exit hook armed (Table 3).
@@ -261,7 +275,18 @@ Kernel::onMessageAvailable()
 exec::Task
 Kernel::upcallBody(Process *p, std::vector<Word> saved_output)
 {
-    co_await p->port().dispatchUpcall();
+    bool skip_dispatch = false;
+    if (auto *f = m_.fault(); f && f->drawHandlerPageFault()) {
+        co_await injectHandlerFault(p);
+        // The fault fired inside the upcall's atomic section, so it
+        // revoked interrupt-disable and diverted the pending message
+        // into the software buffer: there is nothing left to extract
+        // directly. The drain / atomicity-extend machinery delivers
+        // it; dispatching here would peek an empty port.
+        skip_dispatch = !p->port().messageAvailable();
+    }
+    if (!skip_dispatch)
+        co_await p->port().dispatchUpcall();
     const auto &c = costs();
     co_await cpu().spend(c.upcallCleanup + c.timerCleanup(atomicity()) +
                          c.registerRestore);
@@ -302,6 +327,8 @@ Kernel::onMismatchAvailable()
             // OS reports the offending sender to the global
             // scheduler; we count and drop.
             ++stats.droppedNoProcess;
+            if (auto *ck = m_.checker())
+                ck->onDrop(*h, id_);
             ni().kernelExtract();
         }
     }
@@ -401,6 +428,11 @@ Kernel::onAtomicityTimeout()
     if (!p || p->buffered)
         co_return; // stale timeout
     co_await cpu().spend(costs().modeTransition);
+    // The transition cost is paid with the event queue live: another
+    // divert (a forced storm, a page fault) can land while it is
+    // pending, so re-check before committing.
+    if (p != current_ || p->buffered)
+        co_return;
     // Revoke the interrupt-disable privilege: switch from physical to
     // virtual atomicity. The pending messages divert to the software
     // buffer via the mismatch path.
@@ -429,6 +461,18 @@ Kernel::enterBuffered(Process *p, bool from_atomic,
     } else {
         ensureDrain(p);
     }
+}
+
+void
+Kernel::forceDivert()
+{
+    Process *p = current_;
+    if (!p || p->buffered || p->suspended)
+        return;
+    // If the storm lands inside a user atomic section, preserve it
+    // exactly as a revocation would (atomicity-extend hook + gate).
+    enterBuffered(p, (ni().uac() & kUacInterruptDisable) != 0,
+                  trace::DivertReason::Forced);
 }
 
 void
@@ -468,8 +512,33 @@ Kernel::drainBody(Process *p)
     // no other application thread can interleave with one.
     while (p->buffered && !p->atomicGate &&
            p->port().messageAvailable()) {
+        if (auto *f = m_.fault(); f && f->drawHandlerPageFault()) {
+            co_await injectHandlerFault(p);
+            // Re-check the loop conditions: servicing the fault may
+            // have swapped buffer pages or gated the drain.
+            if (!p->buffered || p->atomicGate ||
+                !p->port().messageAvailable())
+                break;
+        }
         co_await p->port().dispatchUpcall();
     }
+}
+
+exec::CoTask<void>
+Kernel::injectHandlerFault(Process *p)
+{
+    // A page far outside any application heap, reserved on first use;
+    // each injection takes the full page-fault trap path and then
+    // returns the frame so the pool stays conserved and the next
+    // injection faults again.
+    constexpr std::uint64_t kScratchPage = 0xfa017000000ull;
+    if (p->as().state(kScratchPage) == PageState::Unmapped)
+        p->as().reserve(kScratchPage, 1);
+    if (!p->as().needsFault(kScratchPage))
+        co_return;
+    co_await cpu().trap(core::kTrapPageFault, kScratchPage);
+    if (p->as().state(kScratchPage) == PageState::Mapped)
+        p->as().unmapPage(kScratchPage);
 }
 
 // ---------------------------------------------------------------------
@@ -488,6 +557,8 @@ Kernel::onDisposeExtend(exec::ContextPtr)
     {
         // Buffered-path delivery completes here.
         const net::Packet &f = p->vbuf().front();
+        if (auto *ck = m_.checker())
+            ck->onDeliver(f, id_, p->gid(), /*buffered_path=*/true);
         const Cycle lat = cpu().now() - f.injectedAt;
         stats.bufLatency.sample(static_cast<double>(lat));
         FUGU_TRACE(tracer(), id_, trace::Type::BufExtract,
@@ -538,8 +609,11 @@ Kernel::onPageFault(exec::ContextPtr victim)
     // not block the network: switch to buffered mode (Section 4.3).
     if ((ni().uac() & kUacInterruptDisable) && !p->buffered) {
         co_await cpu().spend(costs().modeTransition);
-        enterBuffered(p, /*from_atomic=*/true,
-                      trace::DivertReason::PageFault);
+        // Another divert can land while the transition cost is
+        // pending; entering twice would corrupt the port state.
+        if (p == current_ && !p->buffered)
+            enterBuffered(p, /*from_atomic=*/true,
+                          trace::DivertReason::PageFault);
     }
 }
 
@@ -682,9 +756,11 @@ Kernel::onSched()
                       trace::DivertReason::Config);
     if (!next->buffered && !next->vbuf().empty()) {
         co_await cpu().spend(costs().modeTransition);
-        enterBuffered(next,
-                      (ni().uac() & kUacInterruptDisable) != 0,
-                      trace::DivertReason::QuantumCarry);
+        // A divert can land while the transition cost is pending.
+        if (next == current_ && !next->buffered)
+            enterBuffered(next,
+                          (ni().uac() & kUacInterruptDisable) != 0,
+                          trace::DivertReason::QuantumCarry);
     }
     ensureDrain(next);
 }

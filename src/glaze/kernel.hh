@@ -140,11 +140,21 @@ class Kernel
     void enterBuffered(Process *p, bool from_atomic,
                        trace::DivertReason cause);
 
+    /**
+     * Fault hook: force the current process into buffered mode right
+     * now, exercising the same transition an atomicity timeout or
+     * page fault would take. No-op if there is no current process or
+     * it is already buffered/suspended — like injectAtomicityTimeout,
+     * the storm must stay within states the hardware could reach.
+     */
+    void forceDivert();
+
     struct Stats
     {
         Stats(StatGroup *parent, NodeId id);
         StatGroup group;
         Scalar upcalls;
+        Scalar spuriousUpcalls;
         Scalar bufferInserts;
         Scalar kernelMsgs;
         Scalar processSwitches;
@@ -193,6 +203,9 @@ class Kernel
 
     /** Overflow control: suspend job, swap out, resume (Section 4.2). */
     exec::CoTask<void> overflowControl(Process *p);
+
+    /** Fault hook: take a page-fault trap on the scratch page. */
+    exec::CoTask<void> injectHandlerFault(Process *p);
 
     /** Dispatch a kernel message (Table 4 kernel-mode path). */
     exec::CoTask<void> kernelDispatch(net::Packet pkt);

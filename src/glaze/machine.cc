@@ -48,6 +48,14 @@ bindConfig(sim::Binder &b, MachineConfig &c)
         auto s = b.push("trace");
         trace::bindConfig(b, c.trace);
     }
+    {
+        auto s = b.push("fault");
+        sim::bindConfig(b, c.fault);
+    }
+    {
+        auto s = b.push("check");
+        bindConfig(b, c.check);
+    }
 }
 
 void
@@ -110,6 +118,31 @@ Machine::Machine(MachineConfig cfg_in)
         nodes.back()->ni.setTracer(tracer_.get());
         nodes.back()->osnic.setTracer(tracer_.get());
     }
+    pinnedFrames_.assign(cfg.nodes, 0);
+
+    // The checker watches the user network only: OS-net messages are
+    // kernel protocol with no application delivery semantics.
+    checker_ = std::make_unique<InvariantChecker>(*this, cfg.check);
+    net.setWatcher(checker_.get());
+    for (auto &node : nodes)
+        node->ni.setWatcher(checker_.get());
+
+    if (cfg.fault.enabled) {
+        fault_ = std::make_unique<sim::FaultInjector>(
+            eq, cfg.fault, cfg.seed, cfg.nodes, &root);
+        // Like the checker, faults hit the user network/NI/frames
+        // only — the OS network must stay guaranteed deadlock-free.
+        net.setFault(fault_.get());
+        fault_->setInputRetry(
+            [this](NodeId n) { net.onSinkSpaceFreed(n); });
+        for (auto &node : nodes) {
+            node->ni.setFault(fault_.get());
+            node->frames.setFault(fault_.get());
+        }
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            scheduleFaultTick(n, 1);
+    }
+
     for (auto &node : nodes)
         node->kernel.init();
 }
@@ -139,10 +172,13 @@ Machine::addJob(std::string name, AppBody body)
             &root, n, gid, job.get());
         nodes[n]->kernel.addProcess(proc.get());
         for (unsigned f = 0; f < cfg.pinnedBufferPages; ++f) {
-            if (!nodes[n]->frames.tryAllocate())
+            if (nodes[n]->frames.tryAllocate())
+                ++pinnedFrames_[n];
+            else
                 warn("node ", n, ": could not pin buffer page ", f);
         }
         proc->setTracer(tracer_.get());
+        proc->setChecker(checker_.get());
         job->procs.push_back(proc.get());
         proc->threads().spawn(job->name() + "-main", rt::kPrioNormal,
                               jobMain(proc.get(), job.get(), body));
@@ -199,6 +235,25 @@ Machine::pickGangTarget(NodeId node, std::uint64_t k)
 }
 
 void
+Machine::scheduleFaultTick(NodeId node, std::uint64_t k)
+{
+    // The draw order within a tick is fixed, and every class draws on
+    // every tick (rates of zero skip the RNG entirely), so a given
+    // (seed, config) pair replays bit-identically.
+    eq.scheduleFn(
+        [this, node, k] {
+            if (fault_->drawOutputDeny())
+                fault_->openOutputWindow(node);
+            if (fault_->drawDivertStorm())
+                nodes[node]->kernel.forceDivert();
+            if (fault_->drawAtomTimeout())
+                nodes[node]->ni.injectAtomicityTimeout();
+            scheduleFaultTick(node, k + 1);
+        },
+        k * cfg.fault.tickInterval, "fault-tick");
+}
+
+void
 Machine::scheduleBoundary(NodeId node, std::uint64_t k)
 {
     const Cycle when = k * gang_.quantum + gangOffset_[node];
@@ -218,9 +273,11 @@ Machine::runUntilDone(const Job *job, Cycle max_cycles)
         if (now() > limit)
             return false;
         if (!eq.runOne())
-            return job->done();
+            break; // queue drained
     }
-    return true;
+    if (job->done() && checker_)
+        checker_->finalChecks();
+    return job->done();
 }
 
 } // namespace fugu::glaze

@@ -17,11 +17,13 @@
 
 #include "core/costs.hh"
 #include "core/netif.hh"
+#include "glaze/check.hh"
 #include "glaze/kernel.hh"
 #include "glaze/process.hh"
 #include "glaze/vm.hh"
 #include "net/network.hh"
 #include "sim/event.hh"
+#include "sim/fault.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
@@ -68,6 +70,12 @@ struct MachineConfig
 
     /** Message-lifecycle tracing (disabled by default). */
     trace::Options trace{};
+
+    /** Deterministic fault injection (disabled by default). */
+    sim::FaultConfig fault{};
+
+    /** Machine-wide invariant checker (enabled by default). */
+    CheckConfig check{};
 
     std::uint64_t seed = 1;
 };
@@ -123,6 +131,18 @@ class Machine
     /** The trace recorder, or null when tracing is disabled. */
     trace::Recorder *tracer() const { return tracer_.get(); }
 
+    /** The fault injector, or null when fault.enabled is false. */
+    sim::FaultInjector *fault() const { return fault_.get(); }
+
+    /** The invariant checker (always present; may be disabled). */
+    InvariantChecker *checker() const { return checker_.get(); }
+
+    /** Frames actually pinned on @p node by the pinning ablation. */
+    unsigned pinnedFrames(NodeId node) const
+    {
+        return pinnedFrames_[node];
+    }
+
     /**
      * Create a job: one Process per node, each with a main thread
      * running @p body. The job does not run until installed
@@ -162,6 +182,9 @@ class Machine
     Rng rng;
     // Declared before the networks and nodes so it outlives them.
     std::unique_ptr<trace::Recorder> tracer_;
+    // Same lifetime rule: nets and NIs hold raw pointers to these.
+    std::unique_ptr<sim::FaultInjector> fault_;
+    std::unique_ptr<InvariantChecker> checker_;
     net::Network net;
     net::Network osnet;
     std::vector<std::unique_ptr<Node>> nodes;
@@ -170,11 +193,13 @@ class Machine
 
   private:
     void scheduleBoundary(NodeId node, std::uint64_t k);
+    void scheduleFaultTick(NodeId node, std::uint64_t k);
     Process *pickGangTarget(NodeId node, std::uint64_t k);
 
     GangConfig gang_;
     bool gangRunning_ = false;
     std::vector<Cycle> gangOffset_; // per node
+    std::vector<unsigned> pinnedFrames_; // per node, actual pins
     Gid nextGid_ = 1;
 };
 

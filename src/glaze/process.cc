@@ -1,5 +1,6 @@
 #include "glaze/process.hh"
 
+#include "glaze/check.hh"
 #include "glaze/kernel.hh"
 #include "sim/log.hh"
 
@@ -53,8 +54,10 @@ Process::onSend()
 }
 
 void
-Process::onDispatchStart(bool)
+Process::onDispatchStart(bool buffered)
 {
+    if (checker_)
+        checker_->onDispatch(*this, buffered);
 }
 
 void

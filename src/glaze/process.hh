@@ -25,6 +25,7 @@
 namespace fugu::glaze
 {
 
+class InvariantChecker;
 class Kernel;
 class Job;
 
@@ -72,6 +73,9 @@ class Process : public core::PortObserver
 
     /** Attach a message-lifecycle trace recorder (null to disable). */
     void setTracer(trace::Recorder *tracer);
+
+    /** Attach the machine's invariant checker (null to disable). */
+    void setChecker(InvariantChecker *checker) { checker_ = checker; }
 
     /// @}
     /// @name Kernel-side scheduling state
@@ -157,6 +161,7 @@ class Process : public core::PortObserver
     AddressSpace as_;
     VirtualBuffer vbuf_;
     trace::Recorder *tracer_ = nullptr;
+    InvariantChecker *checker_ = nullptr;
 };
 
 /** Per-node application entry point. */

@@ -1,5 +1,6 @@
 #include "glaze/vm.hh"
 
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace fugu::glaze
@@ -23,6 +24,10 @@ FramePool::FramePool(unsigned total, StatGroup *parent, NodeId id)
 bool
 FramePool::tryAllocate()
 {
+    if (fault_ && fault_->frameDenied()) {
+        ++stats.allocationFailures;
+        return false;
+    }
     if (used_ >= total_) {
         ++stats.allocationFailures;
         return false;

@@ -22,6 +22,11 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace fugu::sim
+{
+class FaultInjector;
+}
+
 namespace fugu::glaze
 {
 
@@ -48,6 +53,13 @@ class FramePool
     void setLowWatermark(unsigned w) { watermark_ = w; }
     bool belowWatermark() const { return free() <= watermark_; }
 
+    /**
+     * Attach a fault injector: tryAllocate feigns exhaustion at the
+     * configured rate, driving callers through the same retry /
+     * overflow-control paths a genuinely full pool would.
+     */
+    void setFault(sim::FaultInjector *fault) { fault_ = fault; }
+
     struct Stats
     {
         Stats(StatGroup *parent, NodeId id);
@@ -63,6 +75,7 @@ class FramePool
     unsigned total_;
     unsigned used_ = 0;
     unsigned watermark_ = 2;
+    sim::FaultInjector *fault_ = nullptr;
 };
 
 /** Demand-zero page state in an address space. */

@@ -43,6 +43,19 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
                                     &err))
             warn("trace write failed: ", err);
     }
+    // Collected even for incomplete runs: a hung stress run with
+    // violations should report them, not hide them.
+    out.violations = m.checker()->totalViolations();
+    if (const sim::FaultInjector *f = m.fault()) {
+        const auto &fs = f->stats;
+        out.faultEvents = fs.jitteredPackets.value() +
+                          fs.inputBursts.value() +
+                          fs.outputBursts.value() +
+                          fs.frameDenies.value() +
+                          fs.divertStorms.value() +
+                          fs.timeoutStorms.value() +
+                          fs.handlerFaults.value();
+    }
     if (!out.completed)
         return out;
     out.runtime = m.now() - job->startCycle;
@@ -160,6 +173,8 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
     acc.completed = true;
     for (unsigned t = 0; t < trials; ++t) {
         const RunStats &r = results[t];
+        acc.violations += r.violations;
+        acc.faultEvents += r.faultEvents;
         if (!r.completed) {
             acc.completed = false;
             return acc;

@@ -38,6 +38,9 @@ struct RunStats
     double overflowEvents = 0;  ///< overflow-control activations
     double atomicityTimeouts = 0;
     double bufferInserts = 0;   ///< machine-wide buffered insertions
+    double violations = 0;      ///< invariant-checker total (summed,
+                                ///< not averaged, across trials)
+    double faultEvents = 0;     ///< injected fault events (summed)
     bool completed = false;
 
     /** Bitwise equality (replay verification). */

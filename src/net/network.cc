@@ -1,6 +1,7 @@
 #include "net/network.hh"
 
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 namespace fugu::net
@@ -104,6 +105,11 @@ Network::send(Packet pkt)
     ch.wordsInFlight += words;
 
     Cycle ready = eq_.now() + latency(pkt.src, pkt.dst, words);
+    // Injected jitter lands before the FIFO clamp below so it can
+    // never reorder messages within a channel — pairwise FIFO is a
+    // property of the fabric, not of benign timing.
+    if (fault_)
+        ready += fault_->packetJitter();
     // Per-channel FIFO with serialization: a message cannot arrive
     // before an earlier one on the same channel has been received.
     ready = std::max(ready, ch.lastArrival + cfg_.perWord * words);
@@ -111,6 +117,8 @@ Network::send(Packet pkt)
 
     pkt.injectedAt = eq_.now();
     pkt.seq = nextSeq_++;
+    if (watcher_)
+        watcher_->onInject(pkt);
     FUGU_TRACE(tracer_, pkt.src, trace::Type::Inject,
                osNet_ ? trace::osMsgId(pkt.seq)
                       : trace::userMsgId(pkt.seq),

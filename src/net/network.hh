@@ -37,6 +37,7 @@
 namespace fugu::sim
 {
 class Binder;
+class FaultInjector;
 }
 
 namespace fugu::net
@@ -126,6 +127,16 @@ class Network
         osNet_ = os_net;
     }
 
+    /**
+     * Attach a fault injector: jitters packet delivery latency. Only
+     * the user network gets one; the OS network must stay the
+     * guaranteed deadlock-free path.
+     */
+    void setFault(sim::FaultInjector *fault) { fault_ = fault; }
+
+    /** Attach a packet-lifecycle watcher (the invariant checker). */
+    void setWatcher(PacketWatcher *watcher) { watcher_ = watcher; }
+
     /** Dimension-ordered mesh hop count between two nodes. */
     unsigned hops(NodeId a, NodeId b) const;
 
@@ -184,6 +195,9 @@ class Network
 
     trace::Recorder *tracer_ = nullptr;
     bool osNet_ = false;
+
+    sim::FaultInjector *fault_ = nullptr;
+    PacketWatcher *watcher_ = nullptr;
 };
 
 } // namespace fugu::net

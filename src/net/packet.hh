@@ -54,6 +54,35 @@ struct Packet
     }
 };
 
+/**
+ * Observer of a packet's lifecycle on one network, from injection to
+ * the point user code consumes it (or the kernel drops it). The
+ * invariant checker implements this to verify end-to-end delivery
+ * properties — per-sender FIFO, content transparency, GID isolation —
+ * independently of which path (fast or buffered) a message took.
+ * Callbacks run synchronously inside the simulation event loop.
+ */
+class PacketWatcher
+{
+  public:
+    virtual ~PacketWatcher() = default;
+
+    /** Packet accepted by the network, seq already stamped. */
+    virtual void onInject(const Packet &pkt) = 0;
+
+    /**
+     * Packet handed to user code at @p node, just before it is popped
+     * from the NI input queue (fast path) or the software buffer
+     * (@p buffered_path true). @p receiver_gid is the consuming
+     * process's GID.
+     */
+    virtual void onDeliver(const Packet &pkt, NodeId node,
+                           Gid receiver_gid, bool buffered_path) = 0;
+
+    /** Packet discarded at @p node (e.g. no process owns its GID). */
+    virtual void onDrop(const Packet &pkt, NodeId node) = 0;
+};
+
 } // namespace fugu::net
 
 #endif // FUGU_NET_PACKET_HH

@@ -1,0 +1,157 @@
+#include "sim/fault.hh"
+
+#include "sim/config.hh"
+#include "sim/log.hh"
+
+namespace fugu::sim
+{
+
+void
+bindConfig(Binder &b, FaultConfig &c)
+{
+    b.item("enabled", c.enabled,
+           "master switch for deterministic fault injection");
+    b.item("seed", c.seed,
+           "fault RNG seed; 0 derives it from machine.seed");
+    b.item("delay_jitter_prob", c.delayJitterProb,
+           "per-packet chance of extra delivery delay (user net)");
+    b.item("delay_jitter_max", c.delayJitterMax,
+           "max extra delay per jittered packet", "cycles");
+    b.item("input_full_prob", c.inputFullProb,
+           "per-arrival chance the NI input queue feigns full");
+    b.item("input_full_cycles", c.inputFullCycles,
+           "length of one input-queue-full burst", "cycles");
+    b.item("output_full_prob", c.outputFullProb,
+           "per-tick per-node chance the NI output feigns full");
+    b.item("output_full_cycles", c.outputFullCycles,
+           "length of one output-full burst", "cycles");
+    b.item("frame_deny_prob", c.frameDenyProb,
+           "per-allocation chance the frame pool feigns exhaustion");
+    b.item("divert_storm_prob", c.divertStormProb,
+           "per-tick per-node chance of forcing buffered mode");
+    b.item("atom_timeout_prob", c.atomTimeoutProb,
+           "per-tick per-node chance of a forced atomicity timeout");
+    b.item("page_fault_prob", c.pageFaultProb,
+           "per-dispatch chance of a page fault in the handler path");
+    b.item("tick_interval", c.tickInterval,
+           "spacing of the per-node fault ticks", "cycles");
+}
+
+FaultInjector::Stats::Stats(StatGroup *parent)
+    : group("faults", parent),
+      jitteredPackets(&group, "jittered_packets",
+                      "packets given extra delivery delay"),
+      inputBursts(&group, "input_bursts",
+                  "NI input-queue-full bursts opened"),
+      outputBursts(&group, "output_bursts",
+                   "NI output-full bursts opened"),
+      frameDenies(&group, "frame_denies",
+                  "frame allocations denied"),
+      divertStorms(&group, "divert_storms",
+                   "forced transitions into buffered mode"),
+      timeoutStorms(&group, "timeout_storms",
+                    "forced atomicity timeouts"),
+      handlerFaults(&group, "handler_faults",
+                    "page faults injected into handler dispatch")
+{
+}
+
+FaultInjector::FaultInjector(EventQueue &eq, const FaultConfig &cfg,
+                             std::uint64_t machine_seed, unsigned nodes,
+                             StatGroup *stat_parent)
+    : stats(stat_parent),
+      eq_(eq),
+      cfg_(cfg),
+      rng_(cfg.seed ? cfg.seed : machine_seed ^ 0xfa017fa017ULL),
+      inputDenyUntil_(nodes, 0),
+      outputDenyUntil_(nodes, 0)
+{
+    fugu_assert(!cfg_.enabled || cfg_.tickInterval > 0,
+                "fault.tick_interval must be positive");
+}
+
+Cycle
+FaultInjector::packetJitter()
+{
+    if (!bernoulli(cfg_.delayJitterProb) || cfg_.delayJitterMax == 0)
+        return 0;
+    ++stats.jitteredPackets;
+    return rng_.uniform(1, cfg_.delayJitterMax);
+}
+
+bool
+FaultInjector::inputDenied(NodeId node)
+{
+    const Cycle now = eq_.now();
+    if (now < inputDenyUntil_[node])
+        return true;
+    if (!bernoulli(cfg_.inputFullProb))
+        return false;
+    ++stats.inputBursts;
+    const Cycle until = now + cfg_.inputFullCycles;
+    inputDenyUntil_[node] = until;
+    // The network only re-offers a refused packet when told space has
+    // freed up; a fault burst has no real consumer to do that, so
+    // schedule the nudge for the instant the burst expires.
+    if (inputRetry_)
+        eq_.scheduleFn([this, node] { inputRetry_(node); }, until,
+                       "fault-input-retry");
+    return true;
+}
+
+bool
+FaultInjector::outputDenied(NodeId node) const
+{
+    return eq_.now() < outputDenyUntil_[node];
+}
+
+bool
+FaultInjector::frameDenied()
+{
+    if (!bernoulli(cfg_.frameDenyProb))
+        return false;
+    ++stats.frameDenies;
+    return true;
+}
+
+bool
+FaultInjector::drawOutputDeny()
+{
+    return bernoulli(cfg_.outputFullProb);
+}
+
+void
+FaultInjector::openOutputWindow(NodeId node)
+{
+    ++stats.outputBursts;
+    outputDenyUntil_[node] = eq_.now() + cfg_.outputFullCycles;
+}
+
+bool
+FaultInjector::drawDivertStorm()
+{
+    if (!bernoulli(cfg_.divertStormProb))
+        return false;
+    ++stats.divertStorms;
+    return true;
+}
+
+bool
+FaultInjector::drawAtomTimeout()
+{
+    if (!bernoulli(cfg_.atomTimeoutProb))
+        return false;
+    ++stats.timeoutStorms;
+    return true;
+}
+
+bool
+FaultInjector::drawHandlerPageFault()
+{
+    if (!bernoulli(cfg_.pageFaultProb))
+        return false;
+    ++stats.handlerFaults;
+    return true;
+}
+
+} // namespace fugu::sim

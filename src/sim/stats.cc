@@ -34,8 +34,14 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
 unsigned
 Histogram::bucketOf(double v)
 {
-    if (v < 1.0)
+    // NaN fails every ordered comparison, so `v < 1.0` would fall
+    // through to the cast below — UB for NaN, and likewise for +inf
+    // or anything >= 2^64. Negate the comparison so NaN lands in
+    // bucket 0, and clamp oversized values into the last bucket.
+    if (!(v >= 1.0))
         return 0;
+    if (v >= 0x1p64)
+        return kBuckets - 1;
     const auto x = static_cast<std::uint64_t>(v);
     unsigned octave = 0;
     for (std::uint64_t t = x; t > 1; t >>= 1)
@@ -62,8 +68,14 @@ Histogram::bucketUpperEdge(unsigned b)
 void
 Histogram::sample(double v)
 {
-    if (v < 0)
+    // Degenerate samples must not poison sum/min/max (a single NaN
+    // would make every aggregate NaN forever): NaN and negatives
+    // clamp to 0, +inf and anything beyond the histogram's range to
+    // its top edge.
+    if (std::isnan(v) || v < 0)
         v = 0;
+    else if (v > 0x1p63)
+        v = 0x1p63;
     ++count_;
     sum_ += v;
     min_ = count_ == 1 ? v : std::min(min_, v);

@@ -95,7 +95,12 @@ readBinary(std::istream &is, std::vector<TraceEvent> &out,
         return fail("unsupported trace version");
     const std::uint64_t count = loadLe(hdr + 8, 8);
     out.clear();
-    out.reserve(static_cast<std::size_t>(count));
+    // The header's count is untrusted input: a corrupt/hostile value
+    // must not drive a multi-GB reserve. Cap the pre-allocation; the
+    // read loop below still detects genuine truncation record by
+    // record.
+    out.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 20)));
     for (std::uint64_t i = 0; i < count; ++i) {
         unsigned char rec[24];
         if (!getBytes(is, rec, sizeof(rec)))
@@ -360,6 +365,8 @@ printSummary(std::ostream &os, const Summary &s)
         if (l.count)
             os << " p50=" << l.p50 << " p95=" << l.p95
                << " p99=" << l.p99 << " max=" << l.max;
+        else
+            os << " p50=n/a p95=n/a p99=n/a max=n/a";
         os << "\n";
     };
     os << "\ndelivery latency (cycles, inject->extract):\n";

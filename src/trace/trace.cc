@@ -48,6 +48,7 @@ toString(DivertReason r)
       case DivertReason::PageFault: return "page_fault";
       case DivertReason::QuantumCarry: return "quantum_carry";
       case DivertReason::Config: return "config";
+      case DivertReason::Forced: return "forced";
     }
     return "?";
 }

@@ -70,9 +70,10 @@ enum class DivertReason : std::uint8_t
     PageFault = 3,   ///< page fault inside an atomic section
     QuantumCarry = 4,///< quantum began with messages already buffered
     Config = 5,      ///< always-buffered ablation
+    Forced = 6,      ///< fault injection forced the transition
 };
 
-inline constexpr unsigned kNumReasons = 6;
+inline constexpr unsigned kNumReasons = 7;
 
 const char *toString(Type t);
 const char *toString(DivertReason r);

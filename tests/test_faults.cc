@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Fault-injection tests: every fault class survives a transition
+ * storm with zero invariant violations, the injector is off by
+ * default and inert at zero rates, and a faulted run is bit-for-bit
+ * deterministic — same seed, same stats, same trace bytes —
+ * whatever FUGU_THREADS is set to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "glaze/machine.hh"
+#include "harness/experiment.hh"
+#include "sim/fault.hh"
+
+using namespace fugu;
+using namespace fugu::glaze;
+using harness::RunStats;
+
+namespace
+{
+
+/** Enable one named fault class at a storm-level rate. */
+void
+applyClass(sim::FaultConfig &f, const std::string &cls)
+{
+    f.enabled = true;
+    if (cls == "jitter") {
+        f.delayJitterProb = 0.3;
+    } else if (cls == "inqfull") {
+        f.inputFullProb = 0.05;
+    } else if (cls == "outqfull") {
+        f.outputFullProb = 0.3;
+    } else if (cls == "framedeny") {
+        f.frameDenyProb = 0.2;
+    } else if (cls == "divert") {
+        f.divertStormProb = 0.5;
+    } else if (cls == "timeout") {
+        f.atomTimeoutProb = 0.5;
+    } else if (cls == "pagefault") {
+        f.pageFaultProb = 0.1;
+    } else if (cls == "mixed") {
+        f.delayJitterProb = 0.1;
+        f.inputFullProb = 0.02;
+        f.outputFullProb = 0.1;
+        f.frameDenyProb = 0.05;
+        f.divertStormProb = 0.15;
+        f.atomTimeoutProb = 0.15;
+        f.pageFaultProb = 0.03;
+    } else {
+        FAIL() << "unknown class " << cls;
+    }
+}
+
+/** The stress.cfg shape in miniature: barrier + null, skewed gang. */
+MachineConfig
+stormConfig(const std::string &cls)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    applyClass(cfg.fault, cls);
+    return cfg;
+}
+
+RunStats
+runStorm(const MachineConfig &cfg, unsigned trials = 1,
+         const std::string &trace_path = "")
+{
+    harness::Workloads wl;
+    wl.barrier.barriers = 300;
+    GangConfig g;
+    g.quantum = 20000;
+    g.skew = 0.3;
+    return harness::runTrials(cfg, wl.factory("barrier"),
+                              /*with_null=*/true, /*gang=*/true, g,
+                              trials, 100000000000ull, trace_path);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+}
+
+class FaultStormTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FaultStormTest, SurvivesStormWithZeroViolations)
+{
+    const RunStats r = runStorm(stormConfig(GetParam()));
+    ASSERT_TRUE(r.completed) << GetParam() << " wedged the machine";
+    EXPECT_EQ(r.violations, 0.0) << GetParam();
+    // The storm must actually exercise the mechanism it targets.
+    EXPECT_GT(r.faultEvents, 0.0) << GetParam();
+}
+
+TEST_P(FaultStormTest, SameSeedIsBitIdentical)
+{
+    const MachineConfig cfg = stormConfig(GetParam());
+    const RunStats a = runStorm(cfg);
+    const RunStats b = runStorm(cfg);
+    EXPECT_TRUE(a == b) << GetParam()
+                        << ": faulted run is not reproducible";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, FaultStormTest,
+    ::testing::Values("jitter", "inqfull", "outqfull", "framedeny",
+                      "divert", "timeout", "pagefault", "mixed"),
+    [](const auto &info) { return info.param; });
+
+TEST(FaultTest, DisabledByDefaultInjectsNothing)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    const RunStats r = runStorm(cfg);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.faultEvents, 0.0);
+    EXPECT_EQ(r.violations, 0.0);
+}
+
+TEST(FaultTest, EnabledWithZeroRatesMatchesDisabled)
+{
+    // fault.enabled with every probability at 0 must not perturb the
+    // simulation: zero-rate classes draw no randomness and inject
+    // nothing, so the timeline is the baseline's.
+    MachineConfig base;
+    base.nodes = 4;
+    base.seed = 11;
+    MachineConfig armed = base;
+    armed.fault.enabled = true;
+    const RunStats a = runStorm(base);
+    const RunStats b = runStorm(armed);
+    EXPECT_EQ(b.faultEvents, 0.0);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(FaultTest, ExplicitFaultSeedDecouplesFromMachineSeed)
+{
+    // Same machine seed, different fault seeds: the injected streams
+    // must differ (else fault.seed is dead weight).
+    MachineConfig a = stormConfig("mixed");
+    a.fault.seed = 1;
+    MachineConfig b = a;
+    b.fault.seed = 2;
+    const RunStats ra = runStorm(a);
+    const RunStats rb = runStorm(b);
+    EXPECT_EQ(ra.violations, 0.0);
+    EXPECT_EQ(rb.violations, 0.0);
+    EXPECT_FALSE(ra == rb);
+}
+
+TEST(FaultTest, StormIndependentOfWorkerThreads)
+{
+    const char *saved = std::getenv("FUGU_THREADS");
+    const std::string saved_val = saved ? saved : "";
+
+    const MachineConfig cfg = stormConfig("mixed");
+    const std::string p1 = testing::TempDir() + "fault_threads1.trace";
+    const std::string p4 = testing::TempDir() + "fault_threads4.trace";
+    ::setenv("FUGU_THREADS", "1", 1);
+    const RunStats r1 = runStorm(cfg, /*trials=*/2, p1);
+    ::setenv("FUGU_THREADS", "4", 1);
+    const RunStats r4 = runStorm(cfg, /*trials=*/2, p4);
+    if (saved)
+        ::setenv("FUGU_THREADS", saved_val.c_str(), 1);
+    else
+        ::unsetenv("FUGU_THREADS");
+
+    ASSERT_TRUE(r1.completed);
+    EXPECT_TRUE(r1 == r4) << "faulted stats depend on FUGU_THREADS";
+    EXPECT_EQ(readFile(p1), readFile(p4))
+        << "faulted trace bytes depend on FUGU_THREADS";
+    std::remove(p1.c_str());
+    std::remove((p1 + ".json").c_str());
+    std::remove(p4.c_str());
+    std::remove((p4 + ".json").c_str());
+}
+
+} // namespace

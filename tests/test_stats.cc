@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/stats.hh"
@@ -106,6 +108,35 @@ TEST(StatsTest, HistogramResetAndEmpty)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
     EXPECT_DOUBLE_EQ(h.maxValue(), 0.0);
+}
+
+TEST(StatsTest, HistogramDegenerateSamplesStayFinite)
+{
+    // Regression: NaN used to fall through `v < 1.0` into a
+    // float-to-uint64 cast (UB), and a single NaN sample poisoned
+    // sum/min/max forever. +inf and values >= 2^64 hit the same
+    // cast. All of these must land in a bucket and keep every
+    // aggregate finite; UBSan in CI guards the cast itself.
+    StatGroup root("root");
+    Histogram h(&root, "lat", "latency");
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    h.sample(-5.0);
+    h.sample(1e300);
+    h.sample(0x1p64);
+    h.sample(12.0);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_TRUE(std::isfinite(h.mean()));
+    EXPECT_TRUE(std::isfinite(h.minValue()));
+    EXPECT_TRUE(std::isfinite(h.maxValue()));
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.0); // NaN/negatives clamp to 0
+    EXPECT_DOUBLE_EQ(h.maxValue(), 0x1p63); // top clamp
+    for (double p : {50.0, 95.0, 99.0, 100.0})
+        EXPECT_TRUE(std::isfinite(h.percentile(p))) << p;
+    // Ordinary samples still behave after the degenerate ones.
+    h.sample(12.0);
+    EXPECT_TRUE(std::isfinite(h.percentile(50)));
 }
 
 TEST(StatsTest, ChildGroupMayBeDestroyedFirst)

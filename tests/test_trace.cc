@@ -228,6 +228,27 @@ TEST_F(TraceTest, BinaryRoundTripIsExact)
         EXPECT_EQ(back[i], orig[i]) << "record " << i;
 }
 
+TEST_F(TraceTest, EmptyTraceRoundTripsAndSummarizes)
+{
+    // Regression: a zero-event recording is legitimate (a run may
+    // record nothing), and used to make the tracetool exit nonzero
+    // and print no percentile lines. The file itself must round-trip
+    // and every degenerate summary section must render (as `n/a`)
+    // without dividing by zero.
+    TraceBuffer empty(16);
+    std::stringstream ss;
+    writeBinary(ss, empty);
+    std::vector<TraceEvent> back{TraceEvent{}}; // must be cleared
+    std::string err;
+    ASSERT_TRUE(readBinary(ss, back, &err)) << err;
+    EXPECT_TRUE(back.empty());
+
+    const Summary s = summarize(back);
+    std::ostringstream os;
+    printSummary(os, s);
+    EXPECT_NE(os.str().find("n/a"), std::string::npos);
+}
+
 TEST_F(TraceTest, BinaryReaderRejectsGarbage)
 {
     std::stringstream ss("not a trace file");

@@ -144,6 +144,51 @@ TEST_F(VbufTest, DestructorReturnsResidentFrames)
     EXPECT_EQ(pool.used(), 0u);
 }
 
+TEST_F(VbufTest, TeardownWithSwappedPagesConservesPool)
+{
+    // Swapped pages already returned their frame to the pool; the
+    // destructor must release only the still-resident ones, or the
+    // pool would underflow / leak. Mixed case: 3 pages, 2 swapped.
+    {
+        VirtualBuffer v2(pool, &sg, 0, 2);
+        const unsigned per_page = kPageWords / 5;
+        for (unsigned i = 0; i < 3 * per_page; ++i) {
+            net::Packet p = pkt(i);
+            if (v2.needsNewPageFor(p)) {
+                ASSERT_TRUE(v2.allocatePage());
+            }
+            v2.insert(std::move(p));
+        }
+        EXPECT_EQ(v2.swapOut(2), 2u);
+        EXPECT_EQ(pool.used(), 1u);
+    }
+    EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST_F(VbufTest, TeardownPartiallyDrainedConservesPool)
+{
+    // A process killed mid-drain: some messages consumed, the front
+    // page half-empty, a later page paged back in after a swap.
+    {
+        VirtualBuffer v2(pool, &sg, 0, 2);
+        const unsigned per_page = kPageWords / 5;
+        for (unsigned i = 0; i < 2 * per_page; ++i) {
+            net::Packet p = pkt(i);
+            if (v2.needsNewPageFor(p)) {
+                ASSERT_TRUE(v2.allocatePage());
+            }
+            v2.insert(std::move(p));
+        }
+        EXPECT_EQ(v2.swapOut(1), 1u);
+        for (unsigned i = 0; i < per_page; ++i)
+            v2.pop();
+        ASSERT_TRUE(v2.pageInFront());
+        v2.pop();
+        EXPECT_EQ(pool.used(), 1u);
+    }
+    EXPECT_EQ(pool.used(), 0u);
+}
+
 TEST_F(VbufTest, LargeMessagesPackFewerPerPage)
 {
     // 14-word payloads: footprint 18; page holds 56.
