@@ -45,7 +45,7 @@ peakFrames(glaze::MachineConfig mcfg, const glaze::GangConfig &gcfg,
         return -1;
     double peak = 0;
     for (auto &n : m.nodes)
-        peak = std::max(peak, n->frames.stats.peakUsed.value());
+        peak = std::max(peak, n.frames.stats.peakUsed.value());
     return peak;
 }
 

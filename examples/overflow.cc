@@ -63,7 +63,7 @@ main()
     cfg.ni.atomicityTimeout = 2000;
     Machine m(cfg);
     for (auto &n : m.nodes)
-        n->frames.setLowWatermark(1);
+        n.frames.setLowWatermark(1);
 
     int count = 0;
     Job *job = m.addJob("flood", [&count](Process &p) {

@@ -63,7 +63,8 @@ NetIf::Stats::Stats(StatGroup *parent, NodeId id)
 NetIf::NetIf(exec::Cpu &cpu, net::Network &network, NodeId id,
              NetIfConfig cfg, StatGroup *stat_parent)
     : stats(stat_parent, id), cpu_(cpu), network_(network), id_(id),
-      cfg_(cfg), outBuf_(net::kMaxMessageWords, 0)
+      cfg_(cfg), inq_(cfg.inputQueueMsgs),
+      outBuf_(net::kMaxMessageWords, 0)
 {
     fugu_assert(cfg_.inputQueueMsgs >= 1);
     network_.attach(id, this);
@@ -81,9 +82,9 @@ NetIf::tryDeliver(net::Packet &&pkt)
     // and re-offers it when the burst expires.
     if (fault_ && fault_->inputDenied(id_))
         return false;
-    if (inq_.size() >= cfg_.inputQueueMsgs)
+    if (inq_.full())
         return false;
-    inq_.push_back(std::move(pkt));
+    inq_.push(std::move(pkt));
     ++stats.received;
     FUGU_TRACE(tracer_, id_, trace::Type::NetAccept,
                trace::userMsgId(inq_.back().seq),
@@ -201,7 +202,7 @@ NetIf::dispose(bool user_mode)
                    static_cast<std::uint32_t>(
                        lat > 0xffffffffull ? 0xffffffffull : lat));
     }
-    inq_.pop_front();
+    inq_.pop();
     ++stats.disposed;
     // Table 3: dispose resets dispose-pending and presets the timer.
     uac_ &= ~kUacDisposePending;
@@ -286,7 +287,7 @@ NetIf::kernelExtract()
 {
     fugu_assert(!inq_.empty(), "kernelExtract with empty queue");
     net::Packet p = std::move(inq_.front());
-    inq_.pop_front();
+    inq_.pop();
     ++stats.disposed;
     network_.onSinkSpaceFreed(id_);
     updateLines(/*restart_timer=*/true);

@@ -23,8 +23,8 @@
 #ifndef FUGU_CORE_NETIF_HH
 #define FUGU_CORE_NETIF_HH
 
-#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "core/arch.hh"
@@ -209,6 +209,59 @@ class NetIf : public net::NetSink
     Stats stats;
 
   private:
+    /**
+     * The hardware input queue: a fixed ring sized once from
+     * inputQueueMsgs. The queue is tiny (a handful of messages), and
+     * there is one per node — at 4096 nodes a deque's per-instance
+     * chunk map alone costs megabytes, while the ring is a single
+     * flat allocation that never grows or reallocates.
+     */
+    class InputRing
+    {
+      public:
+        explicit InputRing(unsigned cap) : slots_(cap) {}
+
+        bool full() const { return count_ == slots_.size(); }
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+
+        net::Packet &front() { return slots_[head_]; }
+        const net::Packet &front() const { return slots_[head_]; }
+
+        const net::Packet &
+        back() const
+        {
+            return slots_[wrap(head_ + count_ - 1)];
+        }
+
+        void
+        push(net::Packet &&p)
+        {
+            slots_[wrap(head_ + count_)] = std::move(p);
+            ++count_;
+        }
+
+        net::Packet
+        pop()
+        {
+            net::Packet p = std::move(slots_[head_]);
+            head_ = wrap(head_ + 1);
+            --count_;
+            return p;
+        }
+
+      private:
+        std::size_t
+        wrap(std::size_t i) const
+        {
+            return i >= slots_.size() ? i - slots_.size() : i;
+        }
+
+        std::vector<net::Packet> slots_;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     /** Recompute interrupt lines and timer enable after any change. */
     void updateLines(bool restart_timer = false);
 
@@ -219,7 +272,7 @@ class NetIf : public net::NetSink
     NodeId id_;
     NetIfConfig cfg_;
 
-    std::deque<net::Packet> inq_;
+    InputRing inq_;
     std::vector<Word> outBuf_;
     unsigned descLen_ = 0;
 

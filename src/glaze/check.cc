@@ -77,7 +77,7 @@ void
 InvariantChecker::report(Scalar &counter, const std::string &msg)
 {
     ++counter;
-    warn("invariant violation @", m_.now(), ": ", msg);
+    warn("invariant violation @", m_.checkTime(), ": ", msg);
     if (cfg_.fatal)
         fugu_fatal("invariant violation (check.fatal=true): ", msg);
 }
@@ -92,6 +92,7 @@ InvariantChecker::onInject(const net::Packet &pkt)
     // semantics to verify.
     if (pkt.gid == kKernelGid)
         return;
+    auto lock = lockIfParallel();
     const std::uint64_t key = streamKey(pkt.src, pkt.dst, pkt.gid);
     pending_.emplace(pkt.seq,
                      PendingMsg{cfg_.content ? checksum(pkt) : 0,
@@ -104,6 +105,7 @@ InvariantChecker::onDeliver(const net::Packet &pkt, NodeId node,
 {
     if (!cfg_.enabled || pkt.gid == kKernelGid)
         return;
+    auto lock = lockIfParallel();
 
     if (pkt.gid != receiver_gid)
         report(stats.gidViolations,
@@ -145,8 +147,23 @@ InvariantChecker::onDeliver(const net::Packet &pkt, NodeId node,
     ++stats.checkedDeliveries;
 
     ++deliveries_;
-    if (cfg_.sweepEvery && deliveries_ % cfg_.sweepEvery == 0)
-        sweepConservation();
+    if (cfg_.sweepEvery && deliveries_ % cfg_.sweepEvery == 0) {
+        // A sweep reads every shard's frame pools and vbufs; under
+        // the parallel engine that is only safe at a phase barrier.
+        if (parallel_)
+            sweepPending_ = true;
+        else
+            sweepConservation();
+    }
+}
+
+void
+InvariantChecker::barrierSweep()
+{
+    if (!cfg_.enabled || !sweepPending_)
+        return;
+    sweepPending_ = false;
+    sweepConservation();
 }
 
 void
@@ -154,6 +171,7 @@ InvariantChecker::onDrop(const net::Packet &pkt, NodeId node)
 {
     if (!cfg_.enabled || pkt.gid == kKernelGid)
         return;
+    auto lock = lockIfParallel();
     (void)node;
     // A kernel-policy drop (no process owns the GID here) retires the
     // message's slot in its stream so later deliveries — if a process
@@ -173,6 +191,7 @@ InvariantChecker::onDispatch(Process &p, bool buffered_path)
 {
     if (!cfg_.enabled)
         return;
+    auto lock = lockIfParallel();
 
     // Handler atomicity (Section 3): a direct-path handler runs with
     // the hardware atomic section on; a buffered-path handler runs
@@ -233,16 +252,21 @@ InvariantChecker::finalChecks()
 
     // Per-cause Divert trace events must sum to the kernels'
     // bufferInserts counters — every software-buffered insertion is
-    // attributed to exactly one cause. Only checkable when the ring
-    // kept every event.
-    const trace::Recorder *tr = m_.tracer();
-    if (!tr || tr->buffer().dropped() != 0)
+    // attributed to exactly one cause. Only checkable when every
+    // shard's ring kept every event.
+    const auto &tracers = m_.allTracers();
+    if (tracers.empty())
         return;
-    const trace::TraceBuffer &buf = tr->buffer();
     std::uint64_t diverts = 0;
-    for (std::size_t i = 0; i < buf.size(); ++i)
-        if (buf[i].type == static_cast<std::uint8_t>(trace::Type::Divert))
-            ++diverts;
+    for (const auto &tr : tracers) {
+        const trace::TraceBuffer &buf = tr->buffer();
+        if (buf.dropped() != 0)
+            return;
+        for (std::size_t i = 0; i < buf.size(); ++i)
+            if (buf[i].type ==
+                static_cast<std::uint8_t>(trace::Type::Divert))
+                ++diverts;
+    }
     double inserts = 0;
     for (NodeId n = 0; n < m_.nodeCount(); ++n)
         inserts += m_.node(n).kernel.stats.bufferInserts.value();

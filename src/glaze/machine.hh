@@ -11,6 +11,9 @@
 #ifndef FUGU_GLAZE_MACHINE_HH
 #define FUGU_GLAZE_MACHINE_HH
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,7 +27,9 @@
 #include "net/network.hh"
 #include "sim/event.hh"
 #include "sim/fault.hh"
+#include "sim/pool.hh"
 #include "sim/rng.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
@@ -67,6 +72,22 @@ struct MachineConfig
      * frames per process are taken at creation and never returned.
      */
     unsigned pinnedBufferPages = 0;
+
+    /**
+     * Parallel engine: number of shards the nodes are partitioned
+     * across (contiguous blocks). 1 selects the serial engine — the
+     * bit-exact oracle. Values above the node count are clamped.
+     */
+    unsigned parShards = 1;
+
+    /**
+     * Bound-phase lookahead in cycles; 0 derives it from the minimum
+     * cross-node delivery latency of the two networks. Explicit
+     * values are clamped to [1, that minimum] so a scenario can
+     * shorten phases (more frequent weaves) but never break the
+     * causality guarantee.
+     */
+    Cycle lookahead = 0;
 
     /** Message-lifecycle tracing (disabled by default). */
     trace::Options trace{};
@@ -115,7 +136,7 @@ class Machine
 
     struct Node
     {
-        Node(Machine &m, NodeId id);
+        Node(Machine &m, NodeId id, EventQueue &eq);
 
         exec::Cpu cpu;
         core::NetIf ni;
@@ -124,15 +145,99 @@ class Machine
         Kernel kernel;
     };
 
-    Cycle now() const { return eq.now(); }
+    /**
+     * Current simulated cycle: the minimum across shard clocks (the
+     * machine has reached a cycle only once every shard has). With
+     * one shard this is exactly the event queue's clock. Serial
+     * contexts only — do not call from inside a bound phase.
+     */
+    Cycle
+    now() const
+    {
+        Cycle t = eq.now();
+        for (const auto &q : extraEqs_)
+            t = std::min(t, q->now());
+        return t;
+    }
+
     unsigned nodeCount() const { return cfg.nodes; }
-    Node &node(NodeId id) { return *nodes[id]; }
+    Node &node(NodeId id) { return nodes[id]; }
 
-    /** The trace recorder, or null when tracing is disabled. */
-    trace::Recorder *tracer() const { return tracer_.get(); }
+    /// @name Parallel engine
+    /// @{
 
-    /** The fault injector, or null when fault.enabled is false. */
-    sim::FaultInjector *fault() const { return fault_.get(); }
+    /** Shards the machine actually runs with (1 = serial oracle). */
+    unsigned shardCount() const { return shards_.shards; }
+
+    /** Shard owning node @p n. */
+    unsigned shardOf(NodeId n) const { return shards_.of(n); }
+
+    /** The event queue node @p n's events run on. */
+    EventQueue &queueFor(NodeId n) { return *shardEq_[shards_.of(n)]; }
+
+    /** Effective bound-phase lookahead (after derivation/clamping). */
+    Cycle lookahead() const { return lookahead_; }
+
+    /** Events processed by runUntilDone / run so far. */
+    std::uint64_t eventsProcessed() const { return eventsRun_; }
+
+    /**
+     * A cycle stamp safe to read from any shard thread (the current
+     * phase's bound). Serial machines report the exact clock. Used by
+     * the invariant checker's diagnostics.
+     */
+    Cycle
+    checkTime() const
+    {
+        return shards_.shards == 1
+                   ? eq.now()
+                   : phaseBound_.load(std::memory_order_relaxed);
+    }
+
+    /// @}
+
+    /** The trace recorder, or null when tracing is disabled. The
+     *  parallel engine records per shard; this is shard 0's. */
+    trace::Recorder *tracer() const { return tracerAt(0); }
+
+    /** The recorder node @p n's components log to (null if off). */
+    trace::Recorder *
+    tracerFor(NodeId n) const
+    {
+        return tracerAt(shards_.of(n));
+    }
+
+    /** All per-shard recorders (empty when tracing is disabled). */
+    const std::vector<std::unique_ptr<trace::Recorder>> &
+    allTracers() const
+    {
+        return tracers_;
+    }
+
+    /**
+     * The union of the per-shard trace buffers, merged in (timestamp,
+     * shard) order — deterministic for a fixed shard count. With one
+     * shard this is a copy of the single buffer.
+     */
+    trace::TraceBuffer mergedTrace() const;
+
+    /** The fault injector, or null when fault.enabled is false. The
+     *  parallel engine injects per shard; this is shard 0's. */
+    sim::FaultInjector *fault() const { return faultAt(0); }
+
+    /** The injector perturbing node @p n (null when faults are off). */
+    sim::FaultInjector *
+    faultFor(NodeId n) const
+    {
+        return faultAt(shards_.of(n));
+    }
+
+    /** All per-shard injectors (empty when fault.enabled is false). */
+    const std::vector<std::unique_ptr<sim::FaultInjector>> &
+    allFaults() const
+    {
+        return faults_;
+    }
 
     /** The invariant checker (always present; may be disabled). */
     InvariantChecker *checker() const { return checker_.get(); }
@@ -160,13 +265,17 @@ class Machine
     void startGang(GangConfig gcfg);
 
     /**
-     * Run until @p job finishes.
+     * Run until @p job finishes. With machine.par_shards > 1 this is
+     * the bound-weave loop: every phase runs each shard's queue in
+     * parallel up to a global horizon (the earliest pending event
+     * anywhere plus the lookahead), then commits cross-shard packet
+     * handoffs in fixed shard order.
      * @return false on cycle-limit exhaustion (likely deadlock).
      */
     bool runUntilDone(const Job *job, Cycle max_cycles = 2000000000ull);
 
-    /** Run until the event queue drains or @p until passes. */
-    void run(Cycle until = kMaxCycle) { eq.run(until); }
+    /** Run until the event queues drain or @p until passes. */
+    void run(Cycle until = kMaxCycle);
 
     /**
      * Canonicalize a config the way the constructor will: size both
@@ -178,23 +287,59 @@ class Machine
 
     MachineConfig cfg;
     EventQueue eq;
+
+  private:
+    // The shard queues are declared right after the primary queue so
+    // every queue outlives the networks and nodes scheduling on them.
+    sim::ShardMap shards_;
+    std::vector<std::unique_ptr<EventQueue>> extraEqs_; // shards 1..
+    std::vector<EventQueue *> shardEq_;                 // [0] == &eq
+
+  public:
     StatGroup root;
     Rng rng;
-    // Declared before the networks and nodes so it outlives them.
-    std::unique_ptr<trace::Recorder> tracer_;
+    // Declared before the networks and nodes so they outlive them.
+    std::vector<std::unique_ptr<trace::Recorder>> tracers_; // per shard
     // Same lifetime rule: nets and NIs hold raw pointers to these.
-    std::unique_ptr<sim::FaultInjector> fault_;
+    std::vector<std::unique_ptr<sim::FaultInjector>> faults_; // per shard
     std::unique_ptr<InvariantChecker> checker_;
     net::Network net;
     net::Network osnet;
-    std::vector<std::unique_ptr<Node>> nodes;
+    std::deque<Node> nodes; // deque: Node is pinned (non-movable)
     std::vector<std::unique_ptr<Job>> jobs;
     std::vector<std::unique_ptr<Process>> processes;
 
   private:
+    trace::Recorder *
+    tracerAt(unsigned shard) const
+    {
+        return tracers_.empty() ? nullptr : tracers_[shard].get();
+    }
+
+    sim::FaultInjector *
+    faultAt(unsigned shard) const
+    {
+        return faults_.empty() ? nullptr : faults_[shard].get();
+    }
+
+    /** Earliest pending event across shard queues (kMaxCycle = none). */
+    Cycle nextEventFloor();
+
+    /** One bound phase up to min(floor + lookahead, limit) + weave. */
+    void runPhase(Cycle floor, Cycle limit);
+
+    /** Flush staged traffic and fold lane stats (parallel runs). */
+    void finishRun();
+
     void scheduleBoundary(NodeId node, std::uint64_t k);
     void scheduleFaultTick(NodeId node, std::uint64_t k);
     Process *pickGangTarget(NodeId node, std::uint64_t k);
+
+    std::unique_ptr<sim::WorkerPool> pool_;
+    Cycle lookahead_ = 1;
+    std::uint64_t eventsRun_ = 0;
+    std::vector<std::uint64_t> phaseEvents_; // per shard, per phase
+    std::atomic<Cycle> phaseBound_{0};
 
     GangConfig gang_;
     bool gangRunning_ = false;

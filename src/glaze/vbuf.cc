@@ -64,7 +64,7 @@ const net::Packet &
 VirtualBuffer::front() const
 {
     fugu_assert(!msgs_.empty(), "front() on empty buffer");
-    return msgs_.front();
+    return msgs_.front().pkt;
 }
 
 void
@@ -72,9 +72,9 @@ VirtualBuffer::insert(net::Packet pkt)
 {
     fugu_assert(!needsNewPageFor(pkt), "insert without page space");
     pages_.back().filled += footprint(pkt);
-    msgPage_.push_back(
-        static_cast<unsigned>(basePage_ + pages_.size() - 1));
-    msgs_.push_back(std::move(pkt));
+    const auto page =
+        static_cast<unsigned>(basePage_ + pages_.size() - 1);
+    msgs_.push_back(Rec{std::move(pkt), page});
     ++stats.inserts;
 }
 
@@ -88,7 +88,7 @@ unsigned
 VirtualBuffer::size() const
 {
     fugu_assert(!msgs_.empty(), "size() on empty buffer");
-    return msgs_.front().size();
+    return msgs_.front().pkt.size();
 }
 
 Word
@@ -96,7 +96,7 @@ VirtualBuffer::read(unsigned offset) const
 {
     fugu_assert(!msgs_.empty(), "read on empty buffer");
     fugu_assert(!frontSwapped(), "read of a swapped-out buffer page");
-    const net::Packet &p = msgs_.front();
+    const net::Packet &p = msgs_.front().pkt;
     if (offset == 0)
         return core::makeHeader(p.src, p.gid == kKernelGid);
     if (offset == 1)
@@ -111,11 +111,10 @@ VirtualBuffer::pop()
 {
     fugu_assert(!msgs_.empty(), "pop on empty buffer");
     fugu_assert(!frontSwapped(), "pop of a swapped-out buffer page");
-    const unsigned fp = footprint(msgs_.front());
-    const unsigned abs_page = msgPage_.front();
-    fugu_assert(abs_page == basePage_, "drain out of page order");
+    const unsigned fp = footprint(msgs_.front().pkt);
+    fugu_assert(msgs_.front().pageIdx == basePage_,
+                "drain out of page order");
     msgs_.pop_front();
-    msgPage_.pop_front();
     ++stats.drained;
 
     Page &front = pages_.front();

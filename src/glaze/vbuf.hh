@@ -132,6 +132,12 @@ class VirtualBuffer : public core::BufferedInput
         bool swapped = false;  ///< frame released to backing store
     };
 
+    /**
+     * One buffered message plus the absolute index of the page it
+     * lives on. Keeping both in a single record (instead of two
+     * parallel deques) halves the per-process deque overhead — this
+     * is per-process state, so it multiplies by nodes x jobs.
+     */
     struct Rec
     {
         net::Packet pkt;
@@ -144,8 +150,7 @@ class VirtualBuffer : public core::BufferedInput
     FramePool &frames_;
     NodeId node_;
     trace::Recorder *tracer_ = nullptr;
-    std::deque<net::Packet> msgs_;
-    std::deque<unsigned> msgPage_; ///< absolute page index per message
+    std::deque<Rec> msgs_;
     std::deque<Page> pages_;       ///< live pages, front = draining
     std::uint64_t basePage_ = 0;   ///< absolute index of pages_.front()
 };

@@ -1,13 +1,11 @@
 #include "harness/experiment.hh"
 
-#include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <sstream>
-#include <thread>
 
 #include "sim/log.hh"
+#include "sim/pool.hh"
 #include "trace/export.hh"
 
 namespace fugu::harness
@@ -39,22 +37,25 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     out.completed = m.runUntilDone(job, max_cycles);
     if (!trace_path.empty()) {
         std::string err;
-        if (!trace::writeTraceFiles(trace_path, m.tracer()->buffer(),
-                                    &err))
+        // With one shard the merge is a copy of the only buffer, so
+        // the file's bytes match the serial build's exactly.
+        const trace::TraceBuffer merged = m.mergedTrace();
+        if (!trace::writeTraceFiles(trace_path, merged, &err))
             warn("trace write failed: ", err);
     }
     // Collected even for incomplete runs: a hung stress run with
     // violations should report them, not hide them.
     out.violations = m.checker()->totalViolations();
-    if (const sim::FaultInjector *f = m.fault()) {
+    out.events = m.eventsProcessed();
+    for (const auto &f : m.allFaults()) {
         const auto &fs = f->stats;
-        out.faultEvents = fs.jitteredPackets.value() +
-                          fs.inputBursts.value() +
-                          fs.outputBursts.value() +
-                          fs.frameDenies.value() +
-                          fs.divertStorms.value() +
-                          fs.timeoutStorms.value() +
-                          fs.handlerFaults.value();
+        out.faultEvents += fs.jitteredPackets.value() +
+                           fs.inputBursts.value() +
+                           fs.outputBursts.value() +
+                           fs.frameDenies.value() +
+                           fs.divertStorms.value() +
+                           fs.timeoutStorms.value() +
+                           fs.handlerFaults.value();
     }
     if (!out.completed)
         return out;
@@ -82,31 +83,17 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     }
     out.tHand = hand_n ? hand_sum / hand_n : 0;
     for (auto &node : m.nodes) {
-        out.overflowEvents += node->kernel.stats.overflowEvents.value();
-        out.atomicityTimeouts += node->ni.stats.atomicityTimeouts.value();
-        out.bufferInserts += node->kernel.stats.bufferInserts.value();
+        out.overflowEvents += node.kernel.stats.overflowEvents.value();
+        out.atomicityTimeouts += node.ni.stats.atomicityTimeouts.value();
+        out.bufferInserts += node.kernel.stats.bufferInserts.value();
     }
     return out;
 }
 
-namespace
-{
-
-/** Set while executing inside a runMany worker: sub-jobs go serial. */
-thread_local bool inWorker_ = false;
-
-} // namespace
-
 unsigned
 workerCount()
 {
-    if (const char *env = std::getenv("FUGU_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return sim::defaultWorkerThreads();
 }
 
 void
@@ -114,25 +101,18 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
 {
     const unsigned nthreads =
         static_cast<unsigned>(std::min<std::size_t>(workerCount(), n));
-    if (inWorker_ || nthreads <= 1) {
+    // The worker flag is shared with the Machine's bound-weave pool:
+    // a Machine built inside a trial worker stays serial-fallback,
+    // and a parallelFor issued from a pool worker runs inline.
+    if (sim::onWorkerThread() || nthreads <= 1) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
-    std::atomic<std::size_t> next{0};
-    auto work = [&] {
-        inWorker_ = true;
-        for (std::size_t i; (i = next.fetch_add(1)) < n;)
-            fn(i);
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads - 1);
-    for (unsigned t = 1; t < nthreads; ++t)
-        pool.emplace_back(work);
-    work(); // the calling thread participates
-    for (auto &th : pool)
-        th.join();
-    inWorker_ = false; // work() set it on the calling thread too
+    sim::WorkerPool pool(nthreads - 1);
+    sim::setWorkerThread(true); // the calling thread participates
+    pool.run(n, fn);
+    sim::setWorkerThread(false);
 }
 
 std::vector<RunStats>
@@ -180,6 +160,7 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
             return acc;
         }
         acc.runtime += r.runtime;
+        acc.events += r.events;
         acc.sent += r.sent;
         acc.direct += r.direct;
         acc.buffered += r.buffered;
@@ -192,6 +173,7 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
         acc.bufferInserts += r.bufferInserts;
     }
     acc.runtime /= trials;
+    acc.events /= trials;
     acc.sent /= trials;
     acc.direct /= trials;
     acc.buffered /= trials;

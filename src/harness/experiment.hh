@@ -41,10 +41,32 @@ struct RunStats
     double violations = 0;      ///< invariant-checker total (summed,
                                 ///< not averaged, across trials)
     double faultEvents = 0;     ///< injected fault events (summed)
+    std::uint64_t events = 0;   ///< simulator events processed
     bool completed = false;
 
-    /** Bitwise equality (replay verification). */
-    bool operator==(const RunStats &) const = default;
+    /**
+     * Bitwise equality of everything the simulation semantically
+     * produced (replay verification). `events` is deliberately
+     * excluded: it counts engine work — e.g. the fault subsystem's
+     * bookkeeping ticks — which may differ between configs whose
+     * simulated timelines are identical. Replay tests that also pin
+     * the engine compare `events` explicitly.
+     */
+    bool
+    operator==(const RunStats &o) const
+    {
+        return runtime == o.runtime && sent == o.sent &&
+               direct == o.direct && buffered == o.buffered &&
+               bufferedPct == o.bufferedPct &&
+               tBetween == o.tBetween && tHand == o.tHand &&
+               maxVbufPages == o.maxVbufPages &&
+               overflowEvents == o.overflowEvents &&
+               atomicityTimeouts == o.atomicityTimeouts &&
+               bufferInserts == o.bufferInserts &&
+               violations == o.violations &&
+               faultEvents == o.faultEvents &&
+               completed == o.completed;
+    }
 };
 
 /**

@@ -38,7 +38,9 @@ Network::Stats::Stats(StatGroup *parent, const std::string &name)
 Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
                  StatGroup *stat_parent)
     : stats(stat_parent, name), eq_(eq), cfg_(cfg),
-      name_(std::move(name)), arriveName_(name_ + "-arrive")
+      name_(std::move(name)), arriveName_(name_ + "-arrive"),
+      chans_(1), laneSeq_(1, 0), outbox_(1), releases_(1), scratch_(1),
+      laneEq_{&eq_}, laneTracer_(1, nullptr), laneFault_(1, nullptr)
 {
     fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
     // key() packs node ids into 16 bits per endpoint; a mesh whose
@@ -85,9 +87,38 @@ Network::latency(NodeId src, NodeId dst, unsigned words) const
 bool
 Network::canAccept(NodeId src, NodeId dst, unsigned words) const
 {
-    auto it = channels_.find(key(src, dst));
-    unsigned in_flight = it == channels_.end() ? 0 : it->second.wordsInFlight;
+    const auto &chans = chans_[laneOf(src)];
+    auto it = chans.find(key(src, dst));
+    unsigned in_flight = it == chans.end() ? 0 : it->second.wordsInFlight;
     return in_flight + words <= cfg_.channelCapacityWords;
+}
+
+void
+Network::setParallel(const sim::ShardMap *shards,
+                     std::vector<EventQueue *> lane_eqs)
+{
+    fugu_assert(shards && shards->shards >= 1, "bad shard map");
+    fugu_assert(lane_eqs.size() == shards->shards,
+                "one event queue per lane required");
+    fugu_assert(laneSeq_[0] == 0 && chans_[0].empty(),
+                "setParallel after traffic started");
+    // The lane is packed into seq bits [kLaneSeqShift, 64): the lane
+    // count must fit, and per-lane counters must never reach the lane
+    // bits. 2^16 lanes x 2^48 messages is unreachable in practice.
+    fugu_assert(shards->shards <=
+                    (std::uint64_t{1} << (64 - kLaneSeqShift)),
+                "too many lanes for the seq packing");
+    shards_ = shards;
+    laneEq_ = std::move(lane_eqs);
+    const unsigned lanes = shards_->shards;
+    chans_.resize(lanes);
+    laneSeq_.assign(lanes, 0);
+    outbox_.resize(lanes);
+    releases_.resize(lanes);
+    scratch_.assign(lanes, LaneScratch{});
+    laneTracer_.resize(lanes, nullptr);
+    laneFault_.resize(lanes, nullptr);
+    parallel_ = lanes > 1;
 }
 
 void
@@ -101,59 +132,150 @@ Network::send(Packet pkt)
     fugu_assert(canAccept(pkt.src, pkt.dst, words),
                 "send without canAccept");
 
-    Channel &ch = channels_[key(pkt.src, pkt.dst)];
+    const unsigned lane = laneOf(pkt.src);
+    EventQueue &eq = *laneEq_[lane];
+    Channel &ch = chans_[lane][key(pkt.src, pkt.dst)];
     ch.wordsInFlight += words;
 
-    Cycle ready = eq_.now() + latency(pkt.src, pkt.dst, words);
+    Cycle ready = eq.now() + latency(pkt.src, pkt.dst, words);
     // Injected jitter lands before the FIFO clamp below so it can
     // never reorder messages within a channel — pairwise FIFO is a
     // property of the fabric, not of benign timing.
-    if (fault_)
-        ready += fault_->packetJitter();
+    if (sim::FaultInjector *fault = laneFault_[lane])
+        ready += fault->packetJitter();
     // Per-channel FIFO with serialization: a message cannot arrive
     // before an earlier one on the same channel has been received.
     ready = std::max(ready, ch.lastArrival + cfg_.perWord * words);
     ch.lastArrival = ready;
 
-    pkt.injectedAt = eq_.now();
-    pkt.seq = nextSeq_++;
+    pkt.injectedAt = eq.now();
+    pkt.seq = (static_cast<std::uint64_t>(lane) << kLaneSeqShift) |
+              laneSeq_[lane]++;
     if (watcher_)
         watcher_->onInject(pkt);
-    FUGU_TRACE(tracer_, pkt.src, trace::Type::Inject,
+    FUGU_TRACE(laneTracer_[lane], pkt.src, trace::Type::Inject,
                osNet_ ? trace::osMsgId(pkt.seq)
                       : trace::userMsgId(pkt.seq),
                trace::DivertReason::None,
                (static_cast<std::uint32_t>(pkt.dst) << 16) | words);
     NodeId dst = pkt.dst;
-    eq_.scheduleFn(
-        [this, dst, p = std::move(pkt)]() mutable {
-            arrived_[dst].push_back(std::move(p));
-            drain(dst);
-        },
-        ready, arriveName_.c_str());
+    if (!parallel_ || laneOf(dst) == lane) {
+        eq.scheduleFn(
+            [this, dst, p = std::move(pkt)]() mutable {
+                arrived_[dst].push_back(std::move(p));
+                drain(dst);
+            },
+            ready, arriveName_.c_str());
+    } else {
+        // Cross-lane: the destination's queue may only be touched at
+        // the barrier. Stage the packet; weave() commits it.
+        outbox_[lane].push_back(Staged{std::move(pkt), ready});
+    }
 }
 
 void
 Network::drain(NodeId dst)
 {
     auto &q = arrived_[dst];
+    const unsigned dlane = laneOf(dst);
     while (!q.empty()) {
         Packet &head = q.front();
         const unsigned words = head.size();
         const NodeId src = head.src;
         const Cycle injected = head.injectedAt;
         if (!sinks_[dst]->tryDeliver(std::move(head))) {
-            ++stats.headOfLineBlocks;
+            if (parallel_)
+                ++scratch_[dlane].holBlocks;
+            else
+                ++stats.headOfLineBlocks;
             return; // retried via onSinkSpaceFreed
         }
         q.pop_front();
-        ++stats.messages;
-        stats.words += words;
-        stats.deliveryLatency.sample(
-            static_cast<double>(eq_.now() - injected));
-        auto it = channels_.find(key(src, dst));
-        fugu_assert(it != channels_.end());
-        releaseChannel(it->second, words);
+        const double lat =
+            static_cast<double>(laneEq_[dlane]->now() - injected);
+        if (parallel_) {
+            LaneScratch &sc = scratch_[dlane];
+            ++sc.messages;
+            sc.words += words;
+            if (sc.latCount == 0) {
+                sc.latMin = lat;
+                sc.latMax = lat;
+            } else {
+                sc.latMin = std::min(sc.latMin, lat);
+                sc.latMax = std::max(sc.latMax, lat);
+            }
+            ++sc.latCount;
+            sc.latSum += lat;
+        } else {
+            ++stats.messages;
+            stats.words += words;
+            stats.deliveryLatency.sample(lat);
+        }
+        const unsigned slane = laneOf(src);
+        auto it = chans_[slane].find(key(src, dst));
+        fugu_assert(it != chans_[slane].end());
+        if (!parallel_ || slane == dlane) {
+            releaseChannel(it->second, words);
+        } else {
+            // The channel (and any blocked sender waiting on it)
+            // belongs to the source's lane; defer to the weave.
+            releases_[dlane].push_back(
+                Release{slane, key(src, dst), words});
+        }
+    }
+}
+
+void
+Network::weave()
+{
+    if (!parallel_)
+        return;
+    // Deferred cross-lane channel releases first: waking a blocked
+    // sender may stage more packets, which the commit pass below then
+    // picks up in the same weave.
+    for (auto &rl : releases_) {
+        for (const Release &r : rl) {
+            auto it = chans_[r.srcLane].find(r.key);
+            fugu_assert(it != chans_[r.srcLane].end());
+            releaseChannel(it->second, r.words);
+        }
+        rl.clear();
+    }
+    // Commit staged packets in lane order, then per-lane in send
+    // order, so the destination queue's (cycle, insertion) order — and
+    // with it the whole simulation — is a pure function of the shard
+    // count. The bound horizon guarantees ready >= the destination
+    // clock whenever lookahead <= the minimum cross-node latency; the
+    // max() also keeps degenerate zero-latency configs safe (a small,
+    // documented timing deviation, never a causality violation).
+    for (auto &ob : outbox_) {
+        for (Staged &s : ob) {
+            const NodeId dst = s.pkt.dst;
+            EventQueue &dq = *laneEq_[laneOf(dst)];
+            const Cycle at = std::max(s.ready, dq.now());
+            dq.scheduleFn(
+                [this, dst, p = std::move(s.pkt)]() mutable {
+                    arrived_[dst].push_back(std::move(p));
+                    drain(dst);
+                },
+                at, arriveName_.c_str());
+        }
+        ob.clear();
+    }
+}
+
+void
+Network::mergeLaneStats()
+{
+    if (!parallel_)
+        return;
+    for (LaneScratch &sc : scratch_) {
+        stats.messages += sc.messages;
+        stats.words += sc.words;
+        stats.headOfLineBlocks += sc.holBlocks;
+        stats.deliveryLatency.merge(sc.latCount, sc.latSum, sc.latMin,
+                                    sc.latMax);
+        sc = LaneScratch{};
     }
 }
 
@@ -180,7 +302,8 @@ Network::releaseChannel(Channel &ch, unsigned words)
 void
 Network::subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb)
 {
-    channels_[key(src, dst)].spaceWaiters.push_back(std::move(cb));
+    chans_[laneOf(src)][key(src, dst)].spaceWaiters.push_back(
+        std::move(cb));
 }
 
 } // namespace fugu::net

@@ -30,6 +30,7 @@
 
 #include "net/packet.hh"
 #include "sim/event.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "trace/trace.hh"
@@ -123,7 +124,7 @@ class Network
     void
     setTracer(trace::Recorder *tracer, bool os_net)
     {
-        tracer_ = tracer;
+        laneTracer_[0] = tracer;
         osNet_ = os_net;
     }
 
@@ -132,7 +133,54 @@ class Network
      * the user network gets one; the OS network must stay the
      * guaranteed deadlock-free path.
      */
-    void setFault(sim::FaultInjector *fault) { fault_ = fault; }
+    void setFault(sim::FaultInjector *fault) { laneFault_[0] = fault; }
+
+    /// @name Parallel (bound-weave) engine hooks
+    /// @{
+
+    /**
+     * Partition the network into one lane per shard of @p shards.
+     * Lane l owns the send-side state (channels, sequence counter,
+     * staging outbox) of shard l's nodes and schedules same-lane
+     * arrivals on @p lane_eqs[l]; cross-lane traffic is staged and
+     * committed by weave(). Must be called before any send; with one
+     * shard the network behaves bit-identically to the serial build.
+     */
+    void setParallel(const sim::ShardMap *shards,
+                     std::vector<EventQueue *> lane_eqs);
+
+    /** Attach lane @p lane's trace recorder (parallel runs). */
+    void
+    setLaneTracer(unsigned lane, trace::Recorder *tracer)
+    {
+        laneTracer_[lane] = tracer;
+    }
+
+    /** Attach lane @p lane's fault injector (parallel runs). */
+    void
+    setLaneFault(unsigned lane, sim::FaultInjector *fault)
+    {
+        laneFault_[lane] = fault;
+    }
+
+    /**
+     * Weave phase: serially commit everything the bound phase staged,
+     * in fixed lane order so the result is deterministic. First the
+     * deferred cross-lane channel releases run (possibly waking
+     * blocked senders, whose sends are staged and picked up below),
+     * then every staged cross-lane packet is scheduled onto its
+     * destination lane's queue, per-channel FIFO order preserved.
+     * No-op when the network has a single lane.
+     */
+    void weave();
+
+    /**
+     * Fold the per-lane scratch counters into the canonical stats
+     * (idempotent; called by the Machine when a parallel run stops).
+     */
+    void mergeLaneStats();
+
+    /// @}
 
     /** Attach a packet-lifecycle watcher (the invariant checker). */
     void setWatcher(PacketWatcher *watcher) { watcher_ = watcher; }
@@ -178,6 +226,50 @@ class Network
         std::vector<std::function<void()>> spaceWaiters;
     };
 
+    /** A cross-lane packet awaiting the weave commit. */
+    struct Staged
+    {
+        Packet pkt;
+        Cycle ready;
+    };
+
+    /** A cross-lane channel release deferred to the weave. */
+    struct Release
+    {
+        unsigned srcLane;
+        ChannelKey key;
+        unsigned words;
+    };
+
+    /**
+     * Per-destination-lane stat scratch. Deliveries run on the lane's
+     * thread during the bound phase, so they may not touch the shared
+     * Stats; the scratch is merged (in lane order) at run end.
+     */
+    struct LaneScratch
+    {
+        double messages = 0;
+        double words = 0;
+        double holBlocks = 0;
+        std::uint64_t latCount = 0;
+        double latSum = 0;
+        double latMin = 0;
+        double latMax = 0;
+    };
+
+    /**
+     * Lane sequence numbers pack the lane into the top 16 bits so
+     * per-lane counters never collide machine-wide; lane 0 (and any
+     * serial run) keeps the plain 0,1,2,... sequence.
+     */
+    static constexpr unsigned kLaneSeqShift = 48;
+
+    unsigned
+    laneOf(NodeId n) const
+    {
+        return shards_ ? shards_->of(n) : 0;
+    }
+
     void drain(NodeId dst);
     void releaseChannel(Channel &ch, unsigned words);
 
@@ -185,18 +277,27 @@ class Network
     NetworkConfig cfg_;
     std::string name_;
     std::string arriveName_; // precomputed: scheduleFn is per-packet
-    std::map<ChannelKey, Channel> channels_;
     std::vector<NetSink *> sinks_;
 
     /** Per-destination queues of packets that finished traversal. */
     std::vector<std::deque<Packet>> arrived_;
 
-    std::uint64_t nextSeq_ = 0;
+    // Per-lane state (index 0 only until setParallel). Channels and
+    // the sequence counter belong to the sender's lane; the staging
+    // outbox to the sender's, releases and scratch to the receiver's.
+    std::vector<std::map<ChannelKey, Channel>> chans_;
+    std::vector<std::uint64_t> laneSeq_;
+    std::vector<std::vector<Staged>> outbox_;
+    std::vector<std::vector<Release>> releases_;
+    std::vector<LaneScratch> scratch_;
+    std::vector<EventQueue *> laneEq_;
+    std::vector<trace::Recorder *> laneTracer_;
+    std::vector<sim::FaultInjector *> laneFault_;
 
-    trace::Recorder *tracer_ = nullptr;
+    const sim::ShardMap *shards_ = nullptr;
+    bool parallel_ = false;
     bool osNet_ = false;
 
-    sim::FaultInjector *fault_ = nullptr;
     PacketWatcher *watcher_ = nullptr;
 };
 

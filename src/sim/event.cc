@@ -405,6 +405,13 @@ EventQueue::runOne()
     return true;
 }
 
+Cycle
+EventQueue::nextTime()
+{
+    NextEvent nx;
+    return findNext(nx) ? nx.when : kMaxCycle;
+}
+
 std::uint64_t
 EventQueue::run(Cycle until, std::uint64_t max_events)
 {

@@ -263,6 +263,15 @@ class EventQueue
     std::uint64_t run(Cycle until = kMaxCycle,
                       std::uint64_t max_events = ~std::uint64_t(0));
 
+    /**
+     * Cycle of the next live event without firing it, or kMaxCycle
+     * when the queue is empty. Non-const because locating the next
+     * event drops stale (cancelled) entries on the way. This is what
+     * the parallel engine's weave phase uses to compute the global
+     * horizon floor across shard queues.
+     */
+    Cycle nextTime();
+
     bool empty() const { return live_ == 0; }
 
     /** Number of live (non-cancelled) pending events. */

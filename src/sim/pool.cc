@@ -1,0 +1,111 @@
+#include "sim/pool.hh"
+
+#include <cstdlib>
+
+namespace fugu::sim
+{
+
+namespace
+{
+
+thread_local bool inWorker_ = false;
+
+} // namespace
+
+bool
+onWorkerThread()
+{
+    return inWorker_;
+}
+
+void
+setWorkerThread(bool on)
+{
+    inWorker_ = on;
+}
+
+unsigned
+defaultWorkerThreads()
+{
+    if (const char *env = std::getenv("FUGU_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+WorkerPool::WorkerPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &th : threads_)
+        th.join();
+}
+
+void
+WorkerPool::run(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (threads_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        running_ = static_cast<unsigned>(threads_.size());
+        ++epoch_;
+    }
+    wake_.notify_all();
+    for (std::size_t i;
+         (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;)
+        fn(i);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_.wait(lk, [this] { return running_ == 0; });
+    fn_ = nullptr;
+}
+
+void
+WorkerPool::workerLoop()
+{
+    setWorkerThread(true);
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn;
+        std::size_t n;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            wake_.wait(lk,
+                       [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            fn = fn_;
+            n = n_;
+        }
+        for (std::size_t i;
+             (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;)
+            (*fn)(i);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--running_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+} // namespace fugu::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * WorkerPool: persistent threads for the parallel bound-weave engine.
+ *
+ * A Machine running with machine.par_shards > 1 dispatches one bound
+ * phase per weave cycle — potentially hundreds of thousands of them —
+ * so spawning threads per phase is out of the question. The pool keeps
+ * its workers parked on a condition variable between phases; run()
+ * publishes the phase closure, wakes everyone, participates from the
+ * calling thread, and returns only when every index has been executed
+ * (a full barrier, which is exactly the bound-phase contract).
+ *
+ * The pool shares one piece of global state with the experiment
+ * harness's parallelFor: the per-thread "I am a worker" flag. Both use
+ * it to keep nesting serial — a Machine built inside a harness worker
+ * (runTrials fans trials out across machines) must not spawn a second
+ * layer of threads, and a parallelFor issued from a pool worker must
+ * not either. Serial fallback is always semantically identical: shard
+ * phases share no mutable state, so executing them on one thread or
+ * eight yields bit-identical simulations.
+ */
+
+#ifndef FUGU_SIM_POOL_HH
+#define FUGU_SIM_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fugu::sim
+{
+
+/** Is the calling thread a pool/parallelFor worker? */
+bool onWorkerThread();
+
+/** Mark the calling thread (set by workers at startup). */
+void setWorkerThread(bool on);
+
+/**
+ * Worker threads to use by default: the FUGU_THREADS environment
+ * variable if set (>=1), else the hardware concurrency.
+ */
+unsigned defaultWorkerThreads();
+
+class WorkerPool
+{
+  public:
+    /** @param workers extra threads to spawn (0 = caller-only pool). */
+    explicit WorkerPool(unsigned workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Execute fn(i) for every i in [0, n), distributing indices over
+     * the pool plus the calling thread; returns when all are done.
+     * Must be called from the owning (non-worker) thread only; fn must
+     * only touch per-index state.
+     */
+    void run(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t epoch_ = 0;
+    bool stop_ = false;
+    std::size_t n_ = 0;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    unsigned running_ = 0; // workers still inside the current epoch
+    std::vector<std::thread> threads_;
+};
+
+} // namespace fugu::sim
+
+#endif // FUGU_SIM_POOL_HH

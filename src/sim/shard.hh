@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ShardMap: the node -> shard partition used by the parallel engine.
+ *
+ * Nodes are split into contiguous, near-equal blocks: shard s owns
+ * nodes [ceil(s*nodes/shards), ceil((s+1)*nodes/shards)). Contiguity
+ * matters twice over: mesh neighbours tend to share a shard (so most
+ * traffic stays intra-shard and never needs the weave), and the
+ * partition is a pure function of (nodes, shards) — no RNG, no load
+ * feedback — so a given machine.par_shards always produces the same
+ * shard assignment and therefore the same simulation.
+ */
+
+#ifndef FUGU_SIM_SHARD_HH
+#define FUGU_SIM_SHARD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace fugu::sim
+{
+
+struct ShardMap
+{
+    unsigned nodes = 1;
+    unsigned shards = 1;
+
+    /** Shard owning @p n. */
+    unsigned
+    of(NodeId n) const
+    {
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(n) * shards) / nodes);
+    }
+
+    /** First node of shard @p s (== one past the last of s-1). */
+    unsigned
+    firstNode(unsigned s) const
+    {
+        // Inverse of of(): smallest n with n*shards >= s*nodes.
+        return static_cast<unsigned>(
+            (static_cast<std::uint64_t>(s) * nodes + shards - 1) /
+            shards);
+    }
+};
+
+} // namespace fugu::sim
+
+#endif // FUGU_SIM_SHARD_HH

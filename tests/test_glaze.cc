@@ -307,7 +307,7 @@ TEST_F(GlazeTest, OverflowControlSwapsAndRecovers)
     cfg.seed = 3;
     Machine m(cfg);
     for (auto &n : m.nodes)
-        n->frames.setLowWatermark(1);
+        n.frames.setLowWatermark(1);
     RxState st;
     constexpr int kCount = 800; // 7-word footprints: ~6 buffer pages
     Job *job = m.addJob("flood", [&st](Process &p) {

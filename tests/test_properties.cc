@@ -165,7 +165,7 @@ runStorm(const StormParams &prm)
         out.buffered += proc->stats.bufferedDelivered.value();
     }
     for (auto &n : m.nodes)
-        out.timeouts += n->ni.stats.atomicityTimeouts.value();
+        out.timeouts += n.ni.stats.atomicityTimeouts.value();
     return out;
 }
 

@@ -106,7 +106,7 @@ machineBufferInserts(Machine &m)
 {
     double total = 0;
     for (auto &n : m.nodes)
-        total += n->kernel.stats.bufferInserts.value();
+        total += n.kernel.stats.bufferInserts.value();
     return static_cast<std::uint64_t>(total);
 }
 
