@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "harness/benchmain.hh"
+#include "net/network.hh"
 #include "sim/event.hh"
+#include "sim/stats.hh"
 #include "trace/trace.hh"
 
 using namespace fugu;
@@ -189,8 +191,11 @@ benchTraceOverhead(BenchReport &report, std::uint64_t n, unsigned reps)
         gated_eps = std::max(gated_eps, gated);
         pair_pct[r] = 100.0 * (base - gated) / base;
     }
-    const double overhead_pct = std::max(
-        0.0, *std::min_element(pair_pct.begin(), pair_pct.end()));
+    // Reported signed: a negative value (gated side faster) is real
+    // information about host noise floor; clamping belongs only to
+    // the pass/fail comparison below.
+    const double overhead_pct =
+        *std::min_element(pair_pct.begin(), pair_pct.end());
     constexpr double kLimitPct = 2.0;
 
     std::printf("%-20s  base %14.0f  gated %14.0f  overhead %.2f%% "
@@ -203,7 +208,7 @@ benchTraceOverhead(BenchReport &report, std::uint64_t n, unsigned reps)
                 {"gated_eps", gated_eps},
                 {"overhead_pct", overhead_pct},
                 {"limit_pct", kLimitPct}});
-    if (overhead_pct >= kLimitPct) {
+    if (std::max(0.0, overhead_pct) >= kLimitPct) {
         std::fprintf(stderr,
                      "FAIL: runtime-disabled tracing costs %.2f%% "
                      "schedule/fire throughput (limit %.0f%%)\n",
@@ -211,6 +216,82 @@ benchTraceOverhead(BenchReport &report, std::uint64_t n, unsigned reps)
         return 1;
     }
     return 0;
+}
+
+/**
+ * schedule/fire with batched same-cycle draining disabled: the
+ * one-pop-per-fire fallback. Kept as a gated section so the fallback
+ * path cannot silently rot, and so the batching win stays visible in
+ * the report (batched/unbatched ratio on the same host).
+ */
+Section
+benchScheduleFireNoBatch(std::uint64_t n)
+{
+    EventQueue eq;
+    eq.setBatchFire(false);
+    std::uint64_t remaining = n;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr unsigned kInFlight = 64;
+    for (unsigned i = 0; i < kInFlight; ++i)
+        eq.scheduleFn(Chain{&eq, &remaining, {i, 0, 0, 0, 0}},
+                      eq.now() + 1, "chain");
+    eq.run();
+    const double s = seconds(t0);
+    return {"schedule_fire_nobatch", n, s, n / s};
+}
+
+/**
+ * End-to-end packet path: inject max-size messages on an 8-node mesh,
+ * all pairs, and carry each through latency modelling, the arrival
+ * ring and sink delivery. Exercises the inline payload, the flat
+ * channel map and the pooled arrival events together — the messaging
+ * fabric's per-message cost with no simulated software on top.
+ * events = messages delivered.
+ */
+Section
+benchPacketPath(std::uint64_t n)
+{
+    struct CountSink : net::NetSink
+    {
+        std::uint64_t delivered = 0;
+        bool
+        tryDeliver(net::Packet &&) override
+        {
+            ++delivered;
+            return true;
+        }
+    };
+
+    constexpr unsigned kNodes = 8;
+    EventQueue eq;
+    StatGroup stats("bench");
+    net::Network net(eq, net::NetworkConfig{}, "net", &stats);
+    CountSink sinks[kNodes];
+    for (NodeId node = 0; node < kNodes; ++node)
+        net.attach(node, &sinks[node]);
+
+    net::Packet proto;
+    proto.handler = 7;
+    for (unsigned i = 0; i < net::kMaxPayloadWords; ++i)
+        proto.payload.push_back(i);
+
+    std::uint64_t sent = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (sent < n) {
+        for (NodeId s = 0; s < kNodes; ++s)
+            for (NodeId d = 0; d < kNodes; ++d) {
+                while (!net.canAccept(s, d, net::kMaxMessageWords))
+                    eq.runOne();
+                net::Packet p = proto;
+                p.src = s;
+                p.dst = d;
+                net.send(std::move(p));
+                ++sent;
+            }
+        eq.run();
+    }
+    const double s = seconds(t0);
+    return {"packet_path", sent, s, sent / s};
 }
 
 Section
@@ -304,19 +385,22 @@ main(int argc, char **argv)
 
         std::printf("Event-kernel throughput (%llu events/section)\n",
                     static_cast<unsigned long long>(n));
-        std::printf("%-16s  %12s  %8s  %14s\n", "section", "events",
+        std::printf("%-22s  %12s  %8s  %14s\n", "section", "events",
                     "secs", "events/sec");
-        std::printf("%-16s  %12s  %8s  %14s\n", "----------------",
-                    "------------", "--------", "--------------");
+        std::printf("%-22s  %12s  %8s  %14s\n",
+                    "----------------------", "------------",
+                    "--------", "--------------");
 
         const Section sections[] = {
             benchScheduleFire(n),
+            benchScheduleFireNoBatch(n),
             benchEventFire(n),
             benchScheduleCancel(n),
             benchReschedule(n),
+            benchPacketPath(n / 4),
         };
         for (const Section &s : sections) {
-            std::printf("%-16s  %12llu  %8.3f  %14.0f\n", s.name,
+            std::printf("%-22s  %12llu  %8.3f  %14.0f\n", s.name,
                         static_cast<unsigned long long>(s.events),
                         s.secs, s.eps);
             ctx.report.row({{"section", s.name},

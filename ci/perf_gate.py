@@ -66,6 +66,11 @@ def main():
         print(f"FAIL: baseline row missing from current report: "
               f"{dict(k)}")
 
+    extra = sorted(k for k in cur if k not in base)
+    for k in extra:
+        print(f"WARN: current row not in baseline (not gated): "
+              f"{dict(k)} — regenerate bench/baselines/ to cover it")
+
     scale = 1.0
     if not args.absolute and matched:
         scale = statistics.median(c / b for b, c in matched.values())

@@ -60,7 +60,7 @@ class Barrier
         for (unsigned r = 0; (1u << r) < n_; ++r) {
             const NodeId to =
                 static_cast<NodeId>((me + (1u << r)) % n_);
-            std::vector<Word> payload(1, r);
+            net::PayloadVec payload(1, r);
             co_await p_.port().send(to, handler_, std::move(payload));
             while (arrived_[r] < done_ + 1)
                 co_await cv_.wait();

@@ -88,7 +88,7 @@ expandAll(EnumState *s)
                     s->pending.push_back(child);
             } else {
                 ++s->sent;
-                std::vector<Word> payload(1, child);
+                net::PayloadVec payload(1, child);
                 co_await p.port().send(owner, kEnumState,
                                        std::move(payload));
             }
@@ -183,7 +183,7 @@ enumMain(glaze::Process &p, unsigned nnodes, EnumAppConfig cfg,
             s->globalVisited = s->roundVisited;
             s->globalSolutions = s->roundSolutions;
             for (NodeId n = 1; n < nnodes; ++n) {
-                std::vector<Word> payload{
+                net::PayloadVec payload{
                     quiet ? 1u : 0u,
                     static_cast<Word>(s->roundVisited),
                     static_cast<Word>(s->roundSolutions)};
@@ -194,7 +194,7 @@ enumMain(glaze::Process &p, unsigned nnodes, EnumAppConfig cfg,
             s->roundSent = s->roundReceived = s->roundPending = 0;
             s->roundVisited = s->roundSolutions = 0;
         } else {
-            std::vector<Word> payload{
+            net::PayloadVec payload{
                 static_cast<Word>(s->sent),
                 static_cast<Word>(s->received),
                 static_cast<Word>(s->pending.size()),

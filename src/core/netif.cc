@@ -63,8 +63,7 @@ NetIf::Stats::Stats(StatGroup *parent, NodeId id)
 NetIf::NetIf(exec::Cpu &cpu, net::Network &network, NodeId id,
              NetIfConfig cfg, StatGroup *stat_parent)
     : stats(stat_parent, id), cpu_(cpu), network_(network), id_(id),
-      cfg_(cfg), inq_(cfg.inputQueueMsgs),
-      outBuf_(net::kMaxMessageWords, 0)
+      cfg_(cfg), inq_(cfg.inputQueueMsgs), outBuf_{}
 {
     fugu_assert(cfg_.inputQueueMsgs >= 1);
     network_.attach(id, this);
@@ -294,26 +293,27 @@ NetIf::kernelExtract()
     return p;
 }
 
-std::vector<Word>
+net::MsgVec
 NetIf::saveOutput()
 {
-    std::vector<Word> saved(outBuf_.begin(), outBuf_.begin() + descLen_);
+    net::MsgVec saved;
+    saved.assign(outBuf_.begin(), outBuf_.begin() + descLen_);
     descLen_ = 0;
     return saved;
 }
 
 void
-NetIf::restoreOutput(const std::vector<Word> &saved)
+NetIf::restoreOutput(const net::MsgVec &saved)
 {
     fugu_assert(descLen_ == 0, "restoreOutput over a live descriptor");
     std::copy(saved.begin(), saved.end(), outBuf_.begin());
-    descLen_ = static_cast<unsigned>(saved.size());
+    descLen_ = saved.size();
 }
 
 void
-NetIf::subscribeSpace(NodeId dst, std::function<void()> cb)
+NetIf::subscribeSpace(NodeId dst, net::SpaceWaiter *waiter)
 {
-    network_.subscribeSpace(id_, dst, std::move(cb));
+    network_.subscribeSpace(id_, dst, waiter);
 }
 
 void

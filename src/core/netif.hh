@@ -23,7 +23,7 @@
 #ifndef FUGU_CORE_NETIF_HH
 #define FUGU_CORE_NETIF_HH
 
-#include <functional>
+#include <array>
 #include <utility>
 #include <vector>
 
@@ -163,11 +163,11 @@ class NetIf : public net::NetSink
     net::Packet kernelExtract();
 
     /** Save/restore the output descriptor across a context switch. */
-    std::vector<Word> saveOutput();
-    void restoreOutput(const std::vector<Word> &saved);
+    net::MsgVec saveOutput();
+    void restoreOutput(const net::MsgVec &saved);
 
-    /** One-shot callback when channel (id, dst) has room again. */
-    void subscribeSpace(NodeId dst, std::function<void()> cb);
+    /** One-shot waiter for when channel (id, dst) has room again. */
+    void subscribeSpace(NodeId dst, net::SpaceWaiter *waiter);
 
     /** Attach a message-lifecycle trace recorder (null to disable). */
     void setTracer(trace::Recorder *tracer) { tracer_ = tracer; }
@@ -273,7 +273,7 @@ class NetIf : public net::NetSink
     NetIfConfig cfg_;
 
     InputRing inq_;
-    std::vector<Word> outBuf_;
+    std::array<Word, net::kMaxMessageWords> outBuf_;
     unsigned descLen_ = 0;
 
     unsigned uac_ = 0;

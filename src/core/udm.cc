@@ -28,7 +28,7 @@ UdmPort::UdmPort(exec::Cpu &cpu, NetIf &ni, const CostModel &costs)
 // ---------------------------------------------------------------------
 
 exec::CoTask<void>
-UdmPort::send(NodeId dst, Word handler, std::vector<Word> args)
+UdmPort::send(NodeId dst, Word handler, net::PayloadVec args)
 {
     const unsigned words = 2 + static_cast<unsigned>(args.size());
     co_await cpu_.spend(costs_.descriptorConstruction +
@@ -54,7 +54,7 @@ UdmPort::send(NodeId dst, Word handler, std::vector<Word> args)
 }
 
 exec::CoTask<bool>
-UdmPort::trySend(NodeId dst, Word handler, std::vector<Word> args)
+UdmPort::trySend(NodeId dst, Word handler, net::PayloadVec args)
 {
     const unsigned words = 2 + static_cast<unsigned>(args.size());
     co_await cpu_.spend(costs_.descriptorConstruction +

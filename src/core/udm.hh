@@ -95,11 +95,11 @@ class UdmPort
      * stalling, interruptibly) until the network accepts it.
      */
     exec::CoTask<void> send(NodeId dst, Word handler,
-                            std::vector<Word> args = {});
+                            net::PayloadVec args = {});
 
     /** Conditional inject: @return false if the network is full. */
     exec::CoTask<bool> trySend(NodeId dst, Word handler,
-                               std::vector<Word> args = {});
+                               net::PayloadVec args = {});
 
     /// @}
     /// @name Extraction (transparent between fast and buffered mode)

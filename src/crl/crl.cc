@@ -140,7 +140,7 @@ Crl::startRead(Rid rid)
                 home(rid).queue.push_back(Req{proc_.node(), false});
                 co_await homeAdvance(rid);
             } else {
-                std::vector<Word> payload(1, rid);
+                net::PayloadVec payload(1, rid);
                 co_await sendMsg(c.home, kReqRead, std::move(payload));
             }
             continue; // re-check before waiting (may have granted)
@@ -196,7 +196,7 @@ Crl::startWrite(Rid rid)
                 home(rid).queue.push_back(Req{proc_.node(), true});
                 co_await homeAdvance(rid);
             } else {
-                std::vector<Word> payload(1, rid);
+                net::PayloadVec payload(1, rid);
                 co_await sendMsg(c.home, kReqWrite, std::move(payload));
             }
             continue;
@@ -270,7 +270,7 @@ Crl::homeAdvance(Rid rid)
             } else {
                 h.phase = Phase::WaitWb;
                 h.wbFill = 0;
-                std::vector<Word> payload{rid, demote ? 1u : 0u};
+                net::PayloadVec payload{rid, demote ? 1u : 0u};
                 co_await sendMsg(h.owner, kFetch, std::move(payload));
                 break;
             }
@@ -290,7 +290,7 @@ Crl::homeAdvance(Rid rid)
                     if (s == me) {
                         localInvalidate(rid);
                     } else {
-                        std::vector<Word> payload(1, rid);
+                        net::PayloadVec payload(1, rid);
                         co_await sendMsg(s, kInv, std::move(payload));
                     }
                 }
@@ -388,7 +388,7 @@ Crl::sendCopy(Rid rid, NodeId dst, bool excl, bool with_data)
     if (with_data) {
         for (unsigned off = 0; off < h.words; off += kChunkWords) {
             const unsigned n = std::min(kChunkWords, h.words - off);
-            std::vector<Word> payload;
+            net::PayloadVec payload;
             payload.reserve(2 + n);
             payload.push_back(rid);
             payload.push_back(off);
@@ -397,7 +397,7 @@ Crl::sendCopy(Rid rid, NodeId dst, bool excl, bool with_data)
             co_await sendMsg(dst, kChunk, std::move(payload));
         }
     }
-    std::vector<Word> grant{rid, excl ? 1u : 0u, with_data ? 1u : 0u};
+    net::PayloadVec grant{rid, excl ? 1u : 0u, with_data ? 1u : 0u};
     co_await sendMsg(dst, kGrant, std::move(grant));
 }
 
@@ -423,7 +423,7 @@ Crl::writeBack(Rid rid, bool demote_to_inv)
     }
     for (unsigned off = 0; off < c.words; off += kChunkWords) {
         const unsigned n = std::min(kChunkWords, c.words - off);
-        std::vector<Word> payload;
+        net::PayloadVec payload;
         payload.reserve(2 + n);
         payload.push_back(rid);
         payload.push_back(off);
@@ -432,7 +432,7 @@ Crl::writeBack(Rid rid, bool demote_to_inv)
         co_await sendMsg(c.home, kWbChunk, std::move(payload));
     }
     c.mode = demote_to_inv ? CMode::Inv : CMode::Shared;
-    std::vector<Word> done{rid, demote_to_inv ? 0u : 1u};
+    net::PayloadVec done{rid, demote_to_inv ? 0u : 1u};
     co_await sendMsg(c.home, kWbDone, std::move(done));
     cv_.notifyAll();
 }
@@ -450,7 +450,7 @@ Crl::ackInvalidate(Rid rid)
             co_await homeAdvance(rid);
         co_return;
     }
-    std::vector<Word> payload(1, rid);
+    net::PayloadVec payload(1, rid);
     co_await sendMsg(c.home, kInvAck, std::move(payload));
 }
 
@@ -478,7 +478,7 @@ Crl::debugDump(std::ostream &os) const
 }
 
 exec::CoTask<void>
-Crl::sendMsg(NodeId dst, MsgId id, std::vector<Word> payload)
+Crl::sendMsg(NodeId dst, MsgId id, net::PayloadVec payload)
 {
     if (traceOn() && !payload.empty()) {
         std::printf("[crl] n%u -> n%u msg=%u rid=%u\n", proc_.node(),
@@ -544,7 +544,7 @@ Crl::registerHandlers()
             }
             c.mode = CMode::Inv;
             cv_.notifyAll();
-            std::vector<Word> payload(1, rid);
+            net::PayloadVec payload(1, rid);
             co_await sendMsg(c.home, kInvAck, std::move(payload));
         });
 

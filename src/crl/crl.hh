@@ -225,7 +225,7 @@ class Crl
     void localInvalidate(Rid rid);
 
     exec::CoTask<void> sendMsg(NodeId dst, MsgId id,
-                               std::vector<Word> payload);
+                               net::PayloadVec payload);
 
     Client &client(Rid rid);
     const Client &client(Rid rid) const;

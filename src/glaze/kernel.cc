@@ -231,11 +231,19 @@ Kernel::onMessageAvailable()
 {
     const auto &c = costs();
     ++stats.upcalls;
-    co_await cpu().spend(c.interruptOverhead + c.registerSave);
+    // The whole stub entry is one accumulated charge. The individual
+    // costs (interrupt entry, register save, GID check, timer setup,
+    // upcall dispatch) are modelled as separate line items in the cost
+    // table, but the stub runs them back to back with interrupts
+    // already masked, so there is no legal preemption point between
+    // them — fusing the awaits into one suspension changes no
+    // observable timing, only how often this coroutine parks.
+    Cycle entry = c.interruptOverhead + c.registerSave;
     if (atomicity() != core::AtomicityMode::Kernel)
-        co_await cpu().spend(c.gidCheck);
-    co_await cpu().spend(c.timerSetup(atomicity()) +
-                         c.virtualBufferingOverhead + c.dispatchUpcall);
+        entry += c.gidCheck;
+    entry += c.timerSetup(atomicity()) + c.virtualBufferingOverhead +
+             c.dispatchUpcall;
+    co_await cpu().spend(entry);
 
     Process *p = current_;
     fugu_assert(p, "message-available with no current process");
@@ -261,7 +269,7 @@ Kernel::onMessageAvailable()
     // describing a message; the handler's own injects would clobber
     // it (Section 4.1: "the contents of the output buffer may be
     // transparently unloaded and later reloaded").
-    std::vector<Word> saved_output = ni().saveOutput();
+    net::MsgVec saved_output = ni().saveOutput();
 
     // Chain: this stub -> upcall context -> the interrupted thread.
     auto self = cpu().current();
@@ -273,7 +281,7 @@ Kernel::onMessageAvailable()
 }
 
 exec::Task
-Kernel::upcallBody(Process *p, std::vector<Word> saved_output)
+Kernel::upcallBody(Process *p, net::MsgVec saved_output)
 {
     bool skip_dispatch = false;
     if (auto *f = m_.faultFor(id_); f && f->drawHandlerPageFault()) {
@@ -342,9 +350,10 @@ Kernel::kernelDispatch(net::Packet pkt)
     FUGU_TRACE(tracer(), id_, trace::Type::KernelMsg,
                trace::userMsgId(pkt.seq), trace::DivertReason::None,
                pkt.handler);
-    co_await cpu().spend(c.registerSave + c.dispatchKernel);
+    // Entry + dispatch are back-to-back kernel-mode work with no
+    // legal preemption point between them: one fused charge.
     co_await cpu().spend(
-        c.nullHandler +
+        c.registerSave + c.dispatchKernel + c.nullHandler +
         c.receiveArgCost(static_cast<unsigned>(pkt.payload.size())));
     Word id = pkt.handler;
     if (id < kernelHandlers_.size() && kernelHandlers_[id])
@@ -387,7 +396,7 @@ Kernel::overflowControl(Process *p)
     // out space (the anti-thrashing strategy of Section 4.2).
     for (NodeId n = 0; n < m_.nodeCount(); ++n) {
         if (n != id_) {
-            std::vector<Word> arg(1, p->gid());
+            net::PayloadVec arg(1, p->gid());
             co_await osSend(n, kOsSuspendJob, std::move(arg));
         }
     }
@@ -409,7 +418,7 @@ Kernel::overflowControl(Process *p)
     // recorded as an event).
     for (NodeId n = 0; n < m_.nodeCount(); ++n) {
         if (n != id_) {
-            std::vector<Word> arg(1, p->gid());
+            net::PayloadVec arg(1, p->gid());
             co_await osSend(n, kOsResumeJob, std::move(arg));
         }
     }
@@ -652,7 +661,7 @@ Kernel::onOsNet()
 }
 
 exec::CoTask<void>
-Kernel::kernelSend(NodeId dst, Word handler, std::vector<Word> payload)
+Kernel::kernelSend(NodeId dst, Word handler, net::PayloadVec payload)
 {
     const auto &c = costs();
     const unsigned words = 2 + static_cast<unsigned>(payload.size());
@@ -673,7 +682,7 @@ Kernel::kernelSend(NodeId dst, Word handler, std::vector<Word> payload)
 }
 
 exec::CoTask<void>
-Kernel::osSend(NodeId dst, Word handler, std::vector<Word> payload)
+Kernel::osSend(NodeId dst, Word handler, net::PayloadVec payload)
 {
     const auto &c = costs();
     co_await cpu().spend(c.descriptorConstruction + c.launch);

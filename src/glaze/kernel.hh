@@ -26,6 +26,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "sim/ring.hh"
+
 #include "core/costs.hh"
 #include "core/netif.hh"
 #include "glaze/process.hh"
@@ -73,7 +75,7 @@ class OsNic : public net::NetSink
     exec::Cpu &cpu_;
     NodeId id_;
     trace::Recorder *tracer_ = nullptr;
-    std::deque<net::Packet> q_;
+    sim::RingDeque<net::Packet> q_;
 };
 
 class Kernel
@@ -119,11 +121,11 @@ class Kernel
 
     /** Send a kernel message on the main network. */
     exec::CoTask<void> kernelSend(NodeId dst, Word handler,
-                                  std::vector<Word> payload = {});
+                                  net::PayloadVec payload = {});
 
     /** Send a kernel message on the second (OS) network. */
     exec::CoTask<void> osSend(NodeId dst, Word handler,
-                              std::vector<Word> payload = {});
+                              net::PayloadVec payload = {});
 
     /// @}
 
@@ -189,7 +191,7 @@ class Kernel
     /// @}
 
     /** The upcall context body: user handler + stub epilogue. */
-    exec::Task upcallBody(Process *p, std::vector<Word> saved_output);
+    exec::Task upcallBody(Process *p, net::MsgVec saved_output);
 
     /** Buffered-mode message-handling thread body. */
     exec::Task drainBody(Process *p);

@@ -35,6 +35,11 @@ bindConfig(sim::Binder &b, MachineConfig &c)
         b.item("seed", c.seed, "base RNG seed");
     }
     {
+        auto s = b.push("engine");
+        b.item("batch_fire", c.batchFire,
+               "drain all same-cycle events per calendar-bucket touch");
+    }
+    {
         auto s = b.push("net");
         net::bindConfig(b, c.net);
     }
@@ -140,6 +145,8 @@ Machine::Machine(MachineConfig cfg_in)
         shardEq_.push_back(extraEqs_.back().get());
     }
     phaseEvents_.assign(S, 0);
+    for (EventQueue *q : shardEq_)
+        q->setBatchFire(cfg.batchFire);
 
     // The bound phase may run a shard up to lookahead-1 cycles past
     // the global floor, so the lookahead must never exceed the fastest

@@ -89,6 +89,14 @@ struct MachineConfig
      */
     Cycle lookahead = 0;
 
+    /**
+     * Engine: drain all same-cycle events per calendar-bucket touch
+     * (one head/tail reload per batch instead of per event). Purely a
+     * throughput knob — firing order is unchanged — kept switchable so
+     * regressions can be bisected against the per-event drain.
+     */
+    bool batchFire = true;
+
     /** Message-lifecycle tracing (disabled by default). */
     trace::Options trace{};
 

@@ -123,7 +123,7 @@ class Process : public core::PortObserver
 
     /** Saved NI user state across quanta. */
     unsigned savedUac = 0;
-    std::vector<Word> savedOutput;
+    net::MsgVec savedOutput;
 
     /// @}
     /// @name PortObserver (statistics + atomicity gate)

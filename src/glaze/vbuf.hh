@@ -19,11 +19,11 @@
 #ifndef FUGU_GLAZE_VBUF_HH
 #define FUGU_GLAZE_VBUF_HH
 
-#include <deque>
 
 #include "core/udm.hh"
 #include "glaze/vm.hh"
 #include "net/packet.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 #include "trace/trace.hh"
 
@@ -150,8 +150,8 @@ class VirtualBuffer : public core::BufferedInput
     FramePool &frames_;
     NodeId node_;
     trace::Recorder *tracer_ = nullptr;
-    std::deque<Rec> msgs_;
-    std::deque<Page> pages_;       ///< live pages, front = draining
+    sim::RingDeque<Rec> msgs_;
+    sim::RingDeque<Page> pages_;       ///< live pages, front = draining
     std::uint64_t basePage_ = 0;   ///< absolute index of pages_.front()
 };
 

@@ -39,7 +39,8 @@ Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
                  StatGroup *stat_parent)
     : stats(stat_parent, name), eq_(eq), cfg_(cfg),
       name_(std::move(name)), arriveName_(name_ + "-arrive"),
-      chans_(1), laneSeq_(1, 0), outbox_(1), releases_(1), scratch_(1),
+      chans_(1), laneSeq_(1, 0), outbox_(1), releases_(1),
+      weaveCount_(1, 0), scratch_(1),
       laneEq_{&eq_}, laneTracer_(1, nullptr), laneFault_(1, nullptr)
 {
     fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
@@ -84,12 +85,47 @@ Network::latency(NodeId src, NodeId dst, unsigned words) const
            cfg_.perWord * words;
 }
 
+Network::Channel &
+Network::ChannelMap::getOrCreate(ChannelKey k)
+{
+    // Grow at ~70% load so probe chains stay short.
+    if (slots_.empty() || (size_ + 1) * 10 >= slots_.size() * 7)
+        grow();
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(k);; ++i) {
+        Slot &s = slots_[i & mask];
+        if (!s.used) {
+            s.used = true;
+            s.key = k;
+            ++size_;
+            return s.ch;
+        }
+        if (s.key == k)
+            return s.ch;
+    }
+}
+
+void
+Network::ChannelMap::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot &s : old) {
+        if (!s.used)
+            continue;
+        std::size_t i = hash(s.key);
+        while (slots_[i & mask].used)
+            ++i;
+        slots_[i & mask] = s;
+    }
+}
+
 bool
 Network::canAccept(NodeId src, NodeId dst, unsigned words) const
 {
-    const auto &chans = chans_[laneOf(src)];
-    auto it = chans.find(key(src, dst));
-    unsigned in_flight = it == chans.end() ? 0 : it->second.wordsInFlight;
+    const Channel *ch = chans_[laneOf(src)].find(key(src, dst));
+    const unsigned in_flight = ch ? ch->wordsInFlight : 0;
     return in_flight + words <= cfg_.channelCapacityWords;
 }
 
@@ -115,6 +151,7 @@ Network::setParallel(const sim::ShardMap *shards,
     laneSeq_.assign(lanes, 0);
     outbox_.resize(lanes);
     releases_.resize(lanes);
+    weaveCount_.assign(lanes, 0);
     scratch_.assign(lanes, LaneScratch{});
     laneTracer_.resize(lanes, nullptr);
     laneFault_.resize(lanes, nullptr);
@@ -134,7 +171,7 @@ Network::send(Packet pkt)
 
     const unsigned lane = laneOf(pkt.src);
     EventQueue &eq = *laneEq_[lane];
-    Channel &ch = chans_[lane][key(pkt.src, pkt.dst)];
+    Channel &ch = chans_[lane].getOrCreate(key(pkt.src, pkt.dst));
     ch.wordsInFlight += words;
 
     Cycle ready = eq.now() + latency(pkt.src, pkt.dst, words);
@@ -212,10 +249,10 @@ Network::drain(NodeId dst)
             stats.deliveryLatency.sample(lat);
         }
         const unsigned slane = laneOf(src);
-        auto it = chans_[slane].find(key(src, dst));
-        fugu_assert(it != chans_[slane].end());
+        Channel *ch = chans_[slane].find(key(src, dst));
+        fugu_assert(ch);
         if (!parallel_ || slane == dlane) {
-            releaseChannel(it->second, words);
+            releaseChannel(*ch, words);
         } else {
             // The channel (and any blocked sender waiting on it)
             // belongs to the source's lane; defer to the weave.
@@ -235,11 +272,21 @@ Network::weave()
     // picks up in the same weave.
     for (auto &rl : releases_) {
         for (const Release &r : rl) {
-            auto it = chans_[r.srcLane].find(r.key);
-            fugu_assert(it != chans_[r.srcLane].end());
-            releaseChannel(it->second, r.words);
+            Channel *ch = chans_[r.srcLane].find(r.key);
+            fugu_assert(ch);
+            releaseChannel(*ch, r.words);
         }
         rl.clear();
+    }
+    // Bulk scheduleAt: pre-size each destination queue's pools so the
+    // commit loop below never allocates mid-phase.
+    for (auto &ob : outbox_)
+        for (const Staged &s : ob)
+            ++weaveCount_[laneOf(s.pkt.dst)];
+    for (std::size_t l = 0; l < laneEq_.size(); ++l) {
+        if (weaveCount_[l] != 0)
+            laneEq_[l]->prepareBulk(weaveCount_[l]);
+        weaveCount_[l] = 0;
     }
     // Commit staged packets in lane order, then per-lane in send
     // order, so the destination queue's (cycle, insertion) order — and
@@ -291,19 +338,36 @@ Network::releaseChannel(Channel &ch, unsigned words)
 {
     fugu_assert(ch.wordsInFlight >= words);
     ch.wordsInFlight -= words;
-    if (!ch.spaceWaiters.empty()) {
-        auto waiters = std::move(ch.spaceWaiters);
-        ch.spaceWaiters.clear();
-        for (auto &cb : waiters)
-            cb();
+    SpaceWaiter *w = ch.waitHead;
+    if (!w)
+        return;
+    ch.waitHead = nullptr;
+    ch.waitTail = nullptr;
+    // `ch` must not be touched past this point: a woken sender may
+    // re-enter send()/subscribeSpace() and grow the channel map,
+    // invalidating the reference. Waiters run in subscribe order.
+    while (w) {
+        SpaceWaiter *next = w->nextWaiter_;
+        w->nextWaiter_ = nullptr;
+        w->linked_ = false;
+        w->onSpaceAvailable();
+        w = next;
     }
 }
 
 void
-Network::subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb)
+Network::subscribeSpace(NodeId src, NodeId dst, SpaceWaiter *waiter)
 {
-    chans_[laneOf(src)][key(src, dst)].spaceWaiters.push_back(
-        std::move(cb));
+    fugu_assert(waiter && !waiter->linked_,
+                "SpaceWaiter subscribed while already linked");
+    waiter->linked_ = true;
+    waiter->nextWaiter_ = nullptr;
+    Channel &ch = chans_[laneOf(src)].getOrCreate(key(src, dst));
+    if (ch.waitTail)
+        ch.waitTail->nextWaiter_ = waiter;
+    else
+        ch.waitHead = waiter;
+    ch.waitTail = waiter;
 }
 
 } // namespace fugu::net

@@ -22,14 +22,13 @@
 #ifndef FUGU_NET_NETWORK_HH
 #define FUGU_NET_NETWORK_HH
 
-#include <deque>
-#include <functional>
-#include <map>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "net/packet.hh"
 #include "sim/event.hh"
+#include "sim/ring.hh"
 #include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -112,9 +111,11 @@ class Network
 
     /**
      * One-shot notification when channel (src,dst) has room again.
-     * Used by the NI to wake a blocked injector.
+     * Used by the NI to wake a blocked injector. The waiter is linked
+     * intrusively (no allocation) and unlinked before its callback
+     * runs; it must stay alive until notified.
      */
-    void subscribeSpace(NodeId src, NodeId dst, std::function<void()> cb);
+    void subscribeSpace(NodeId src, NodeId dst, SpaceWaiter *waiter);
 
     /**
      * Attach a message-lifecycle trace recorder. @p os_net selects
@@ -223,7 +224,67 @@ class Network
     {
         unsigned wordsInFlight = 0;
         Cycle lastArrival = 0;
-        std::vector<std::function<void()>> spaceWaiters;
+        // Intrusive FIFO of blocked senders (see SpaceWaiter).
+        SpaceWaiter *waitHead = nullptr;
+        SpaceWaiter *waitTail = nullptr;
+    };
+
+    /**
+     * Open-addressing (src,dst) -> Channel map. Channels are created
+     * once per communicating pair and then only looked up, which a
+     * node-based std::map punishes with a pointer chase per level on
+     * the per-message send/drain path; linear probing over a flat
+     * power-of-2 table makes the lookup one or two cache lines.
+     * Never iterated, so table order can't leak into simulation order.
+     * References are invalidated by getOrCreate (growth).
+     */
+    class ChannelMap
+    {
+      public:
+        Channel *
+        find(ChannelKey k)
+        {
+            if (size_ == 0)
+                return nullptr;
+            const std::size_t mask = slots_.size() - 1;
+            for (std::size_t i = hash(k);; ++i) {
+                Slot &s = slots_[i & mask];
+                if (!s.used)
+                    return nullptr;
+                if (s.key == k)
+                    return &s.ch;
+            }
+        }
+
+        const Channel *
+        find(ChannelKey k) const
+        {
+            return const_cast<ChannelMap *>(this)->find(k);
+        }
+
+        Channel &getOrCreate(ChannelKey k);
+
+        bool empty() const { return size_ == 0; }
+
+      private:
+        struct Slot
+        {
+            ChannelKey key = 0;
+            bool used = false;
+            Channel ch;
+        };
+
+        static std::size_t
+        hash(ChannelKey k)
+        {
+            // Fibonacci scrambling: adjacent node pairs spread out.
+            return (k * 0x9e3779b9u) >> 16;
+        }
+
+        void grow();
+
+        std::vector<Slot> slots_; // power-of-2 size
+        std::size_t size_ = 0;
     };
 
     /** A cross-lane packet awaiting the weave commit. */
@@ -280,15 +341,16 @@ class Network
     std::vector<NetSink *> sinks_;
 
     /** Per-destination queues of packets that finished traversal. */
-    std::vector<std::deque<Packet>> arrived_;
+    std::vector<sim::RingDeque<Packet>> arrived_;
 
     // Per-lane state (index 0 only until setParallel). Channels and
     // the sequence counter belong to the sender's lane; the staging
     // outbox to the sender's, releases and scratch to the receiver's.
-    std::vector<std::map<ChannelKey, Channel>> chans_;
+    std::vector<ChannelMap> chans_;
     std::vector<std::uint64_t> laneSeq_;
     std::vector<std::vector<Staged>> outbox_;
     std::vector<std::vector<Release>> releases_;
+    std::vector<std::size_t> weaveCount_; // scratch for weave()
     std::vector<LaneScratch> scratch_;
     std::vector<EventQueue *> laneEq_;
     std::vector<trace::Recorder *> laneTracer_;

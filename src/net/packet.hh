@@ -8,14 +8,22 @@
  * messages are limited to 16 words as in FUGU; larger transfers are
  * chunked by higher layers (the paper's DMA bulk path is out of
  * scope, as it is in the paper).
+ *
+ * Payloads are stored inline (WordVec): a Packet is a flat,
+ * trivially-copyable value with no heap behind it, so moving messages
+ * through the fabric, the NI input ring and the virtual buffer never
+ * allocates and never chases a pointer to reach the words.
  */
 
 #ifndef FUGU_NET_PACKET_HH
 #define FUGU_NET_PACKET_HH
 
 #include <cstdint>
+#include <initializer_list>
+#include <type_traits>
 #include <vector>
 
+#include "sim/log.hh"
 #include "sim/types.hh"
 
 namespace fugu::net
@@ -26,6 +34,98 @@ inline constexpr unsigned kMaxMessageWords = 16;
 
 /** Payload words available after the routing header + handler word. */
 inline constexpr unsigned kMaxPayloadWords = kMaxMessageWords - 2;
+
+/**
+ * A fixed-capacity inline word vector: the hardware-bounded message
+ * payload (and the NI output descriptor) as a flat value type. The
+ * vector-ish surface (size/push_back/assign/iterators) keeps call
+ * sites natural; capacity overflow is a simulation error, matching
+ * the hardware's kMaxMessageWords limit, and asserts.
+ */
+template <unsigned Cap>
+class WordVec
+{
+  public:
+    WordVec() = default;
+
+    WordVec(std::initializer_list<Word> init)
+    {
+        assign(init.begin(), init.end());
+    }
+
+    /** Implicit, so legacy std::vector call sites keep compiling. */
+    WordVec(const std::vector<Word> &v) { assign(v.begin(), v.end()); }
+
+    WordVec(unsigned n, Word fill) { assign(n, fill); }
+
+    unsigned size() const { return len_; }
+    bool empty() const { return len_ == 0; }
+    static constexpr unsigned capacity() { return Cap; }
+
+    Word operator[](unsigned i) const { return w_[i]; }
+    Word &operator[](unsigned i) { return w_[i]; }
+
+    Word
+    at(unsigned i) const
+    {
+        fugu_assert(i < len_, "WordVec::at(", i, ") past end ", len_);
+        return w_[i];
+    }
+
+    const Word *begin() const { return w_; }
+    const Word *end() const { return w_ + len_; }
+    Word *begin() { return w_; }
+    Word *end() { return w_ + len_; }
+    const Word *data() const { return w_; }
+
+    void
+    push_back(Word w)
+    {
+        fugu_assert(len_ < Cap, "WordVec overflow (capacity ", Cap,
+                    " words)");
+        w_[len_++] = w;
+    }
+
+    template <typename It,
+              typename = std::enable_if_t<!std::is_integral_v<It>>>
+    void
+    assign(It first, It last)
+    {
+        len_ = 0;
+        for (; first != last; ++first)
+            push_back(static_cast<Word>(*first));
+    }
+
+    void
+    assign(unsigned n, Word fill)
+    {
+        fugu_assert(n <= Cap, "WordVec overflow (capacity ", Cap,
+                    " words)");
+        for (unsigned i = 0; i < n; ++i)
+            w_[i] = fill;
+        len_ = n;
+    }
+
+    void clear() { len_ = 0; }
+
+    /** Capacity is fixed; kept so vector-era call sites compile. */
+    void
+    reserve(unsigned n) const
+    {
+        fugu_assert(n <= Cap, "WordVec::reserve(", n, ") over capacity ",
+                    Cap);
+    }
+
+  private:
+    Word w_[Cap] = {};
+    unsigned len_ = 0;
+};
+
+/** Message payload: what travels after the header + handler words. */
+using PayloadVec = WordVec<kMaxPayloadWords>;
+
+/** A whole described message (the NI output descriptor's shape). */
+using MsgVec = WordVec<kMaxMessageWords>;
 
 struct Packet
 {
@@ -38,8 +138,8 @@ struct Packet
     /** Handler address (index into the receiver's handler table). */
     Word handler = 0;
 
-    /** Data payload, at most kMaxPayloadWords words. */
-    std::vector<Word> payload;
+    /** Data payload, at most kMaxPayloadWords words, stored inline. */
+    PayloadVec payload;
 
     /** Cycle the message was launched (for latency stats). */
     Cycle injectedAt = 0;
@@ -48,10 +148,7 @@ struct Packet
     std::uint64_t seq = 0;
 
     /** Total size in words: header + handler + payload. */
-    unsigned size() const
-    {
-        return 2 + static_cast<unsigned>(payload.size());
-    }
+    unsigned size() const { return 2 + payload.size(); }
 };
 
 /**
@@ -81,6 +178,27 @@ class PacketWatcher
 
     /** Packet discarded at @p node (e.g. no process owns its GID). */
     virtual void onDrop(const Packet &pkt, NodeId node) = 0;
+};
+
+/**
+ * Intrusive one-shot waiter for channel back-pressure release.
+ * Subscribers subclass this (one live subscription per instance) and
+ * are notified — and unlinked — when their (src,dst) channel frees
+ * space. Replaces per-subscription std::function allocations on the
+ * inject back-pressure path.
+ */
+class SpaceWaiter
+{
+  public:
+    virtual ~SpaceWaiter() = default;
+
+    /** Channel has room again; the waiter is already unlinked. */
+    virtual void onSpaceAvailable() = 0;
+
+  private:
+    friend class Network;
+    SpaceWaiter *nextWaiter_ = nullptr;
+    bool linked_ = false;
 };
 
 } // namespace fugu::net

@@ -23,6 +23,7 @@ EventQueue::allocSlot(Event *ev, bool owned)
     if (freeSlotHead_ != kNoEventSlot) {
         idx = freeSlotHead_;
         freeSlotHead_ = slots_[idx].nextFree;
+        --freeSlotCount_;
     } else {
         idx = static_cast<std::uint32_t>(slots_.size());
         slots_.emplace_back();
@@ -43,6 +44,26 @@ EventQueue::freeSlot(std::uint32_t idx)
     ++s.gen; // invalidates every outstanding handle and queue entry
     s.nextFree = freeSlotHead_;
     freeSlotHead_ = idx;
+    ++freeSlotCount_;
+}
+
+void
+EventQueue::prepareBulk(std::size_t n)
+{
+    if (freeSlotCount_ < n)
+        slots_.reserve(slots_.size() + (n - freeSlotCount_));
+    if (lambdaFree_.size() < n) {
+        std::size_t need = n - lambdaFree_.size();
+        lambdaStore_.reserve(lambdaStore_.size() + need);
+        lambdaFree_.reserve(n);
+        while (need-- > 0) {
+            lambdaStore_.push_back(
+                std::make_unique<LambdaEvent>("bulk"));
+            lambdaFree_.push_back(lambdaStore_.back().get());
+        }
+    }
+    // Worst case every entry lands in the far band.
+    heap_.reserve(heap_.size() + n);
 }
 
 namespace
@@ -424,8 +445,40 @@ EventQueue::run(Cycle until, std::uint64_t max_events)
                 now_ = until;
             return n;
         }
-        fireNext(nx);
-        ++n;
+        if (!batchFire_ || !nx.fromRing) {
+            fireNext(nx);
+            ++n;
+            continue;
+        }
+        // Batched drain: fire every live entry at this cycle with one
+        // bucket touch instead of re-scanning the occupancy bitmap per
+        // event. ringHead_/size are re-read every iteration: firing an
+        // event may append same-cycle entries to this bucket, and a
+        // re-entrant ring sweep (a deschedule inside an event) may
+        // compact it and reset ringHead_. The vector object itself is
+        // stable — ring_ never resizes.
+        const std::uint32_t b = nx.bucket;
+        now_ = nx.when;
+        std::vector<BucketEntry> &bucket = ring_[b];
+        for (;;) {
+            const std::uint32_t h = ringHead_[b];
+            if (h >= bucket.size())
+                break;
+            const BucketEntry e = bucket[h];
+            ringHead_[b] = h + 1;
+            --ringCount_;
+            if (slots_[e.slot].gen != e.gen) {
+                fugu_assert(ringStale_ > 0);
+                --ringStale_;
+                continue;
+            }
+            fireSlot(e.slot);
+            if (++n >= max_events)
+                return n; // consumed prefix is dropped by findNext
+        }
+        bucket.clear();
+        ringHead_[b] = 0;
+        occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
     }
     // Cut short by max_events: the clock stays at the last event.
     return n;

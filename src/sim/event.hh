@@ -99,12 +99,13 @@ struct EventHandle
  * Type-erased move-only callable with inline storage. Callables up to
  * kInlineBytes live in the object itself; larger ones fall back to a
  * single heap allocation. Sized so every scheduleFn lambda in the
- * simulator (the largest captures a whole net::Packet) stays inline.
+ * simulator stays inline — the largest captures a whole net::Packet,
+ * which carries its payload inline (~88 bytes) plus this and a node id.
  */
 class SmallFn
 {
   public:
-    static constexpr std::size_t kInlineBytes = 96;
+    static constexpr std::size_t kInlineBytes = 128;
 
     SmallFn() = default;
     ~SmallFn() { reset(); }
@@ -264,6 +265,23 @@ class EventQueue
                       std::uint64_t max_events = ~std::uint64_t(0));
 
     /**
+     * Enable/disable batched same-cycle firing in run(). On (the
+     * default), run() drains every live entry of a ring bucket per
+     * bucket touch — one occupancy-bitmap scan per simulated cycle
+     * instead of one per event. Off falls back to the one-pop-per-fire
+     * loop; firing order is identical either way (bucket FIFO order).
+     */
+    void setBatchFire(bool on) { batchFire_ = on; }
+    bool batchFire() const { return batchFire_; }
+
+    /**
+     * Pre-size internal pools for @p n imminent schedule/scheduleFn
+     * calls so none of them allocates. Used by the parallel weave to
+     * commit a whole phase's cross-shard handoffs allocation-free.
+     */
+    void prepareBulk(std::size_t n);
+
+    /**
      * Cycle of the next live event without firing it, or kMaxCycle
      * when the queue is empty. Non-const because locating the next
      * event drops stale (cancelled) entries on the way. This is what
@@ -375,12 +393,14 @@ class EventQueue
 
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    bool batchFire_ = true;
     std::size_t live_ = 0;
     std::size_t stale_ = 0;     // dead entries still in heap_
     std::size_t ringStale_ = 0; // dead entries still in ring buckets
     std::size_t ringCount_ = 0; // all entries held in ring buckets
     std::vector<SlotRec> slots_;
     std::uint32_t freeSlotHead_ = kNoEventSlot;
+    std::size_t freeSlotCount_ = 0;
 
     Cycle ringBase_ = 0; // window start, kRingSize-aligned, <= now_
     std::vector<std::vector<BucketEntry>> ring_; // kRingSize buckets

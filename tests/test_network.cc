@@ -147,14 +147,18 @@ TEST_F(NetworkTest, FullSinkBlocksChannelUntilSpaceFreed)
 
 TEST_F(NetworkTest, SubscribeSpaceFiresWhenChannelDrains)
 {
-    int fired = 0;
+    struct Counter : net::SpaceWaiter
+    {
+        int fired = 0;
+        void onSpaceAvailable() override { ++fired; }
+    } waiter;
     for (int i = 0; i < 4; ++i)
         net.send(mkPkt(0, 1, std::vector<Word>(14, 0)));
     EXPECT_FALSE(net.canAccept(0, 1, 16));
-    net.subscribeSpace(0, 1, [&] { ++fired; });
-    EXPECT_EQ(fired, 0);
+    net.subscribeSpace(0, 1, &waiter);
+    EXPECT_EQ(waiter.fired, 0);
     eq.run();
-    EXPECT_GE(fired, 1);
+    EXPECT_GE(waiter.fired, 1);
     EXPECT_TRUE(net.canAccept(0, 1, 16));
 }
 

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the inline-payload packet representation: WordVec
+ * capacity boundaries, conversions from legacy std::vector call
+ * sites, and the Packet size accounting the NI window relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/log.hh"
+
+using namespace fugu;
+using namespace fugu::net;
+
+namespace
+{
+
+struct PacketTest : ::testing::Test
+{
+    PacketTest() { detail::setThrowOnError(true); }
+    ~PacketTest() override { detail::setThrowOnError(false); }
+};
+
+TEST_F(PacketTest, ZeroWordPayload)
+{
+    PayloadVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.begin(), v.end());
+
+    Packet p;
+    EXPECT_EQ(p.size(), 2u); // header + handler only
+}
+
+TEST_F(PacketTest, ExactlyMaxPayloadWords)
+{
+    PayloadVec v;
+    for (unsigned i = 0; i < kMaxPayloadWords; ++i)
+        v.push_back(i * 3 + 1);
+    EXPECT_EQ(v.size(), kMaxPayloadWords);
+    for (unsigned i = 0; i < kMaxPayloadWords; ++i)
+        EXPECT_EQ(v[i], i * 3 + 1);
+
+    Packet p;
+    p.payload = v;
+    EXPECT_EQ(p.size(), kMaxMessageWords);
+}
+
+TEST_F(PacketTest, PushPastCapacityAsserts)
+{
+    PayloadVec v(kMaxPayloadWords, 0);
+    EXPECT_THROW(v.push_back(1), SimError);
+}
+
+TEST_F(PacketTest, AssignPastCapacityAsserts)
+{
+    std::vector<Word> big(kMaxPayloadWords + 1, 7);
+    PayloadVec v;
+    EXPECT_THROW(v.assign(big.begin(), big.end()), SimError);
+    EXPECT_THROW(PayloadVec{big}, SimError);
+}
+
+TEST_F(PacketTest, VectorConversionPreservesContent)
+{
+    std::vector<Word> src{4, 5, 6};
+    PayloadVec v = src; // implicit: legacy call-site shape
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_TRUE(std::equal(v.begin(), v.end(), src.begin()));
+
+    PayloadVec il{9, 8};
+    ASSERT_EQ(il.size(), 2u);
+    EXPECT_EQ(il[0], 9u);
+    EXPECT_EQ(il[1], 8u);
+
+    PayloadVec fill(4, 2);
+    ASSERT_EQ(fill.size(), 4u);
+    EXPECT_EQ(fill[3], 2u);
+}
+
+TEST_F(PacketTest, AtBoundsChecks)
+{
+    PayloadVec v{1, 2};
+    EXPECT_EQ(v.at(1), 2u);
+    EXPECT_THROW(v.at(2), SimError);
+}
+
+TEST_F(PacketTest, ClearAndReassign)
+{
+    PayloadVec v(kMaxPayloadWords, 1);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.assign(2, 5);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 5u);
+}
+
+TEST_F(PacketTest, CopyIsDeepValueCopy)
+{
+    Packet a;
+    a.src = 1;
+    a.dst = 2;
+    a.handler = 3;
+    a.payload = PayloadVec{10, 20, 30};
+    Packet b = a;
+    b.payload[0] = 99;
+    EXPECT_EQ(a.payload[0], 10u); // no shared heap storage
+    EXPECT_EQ(b.payload[0], 99u);
+}
+
+} // namespace

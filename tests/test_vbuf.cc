@@ -198,4 +198,106 @@ TEST_F(VbufTest, LargeMessagesPackFewerPerPage)
     EXPECT_EQ(vb.pagesAllocated(), 2u);
 }
 
+namespace
+{
+/**
+ * FNV-1a over the window-visible words of a buffered record — the
+ * same observable surface the invariant checker's content-
+ * transparency hash covers (what user code can read back out).
+ */
+std::uint64_t
+windowHash(const std::vector<Word> &words)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (Word w : words) {
+        std::uint64_t v = w;
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+} // namespace
+
+TEST_F(VbufTest, MaxSizeRecordRoundTripsBitExact)
+{
+    // A full kMaxMessageWords message: header + handler + 14 distinct
+    // payload words. The inline-payload representation must hand back
+    // exactly the words that went in, in window order, and the
+    // content-transparency hash over them must not move.
+    net::Packet p = pkt(0, net::kMaxPayloadWords);
+    for (unsigned i = 0; i < net::kMaxPayloadWords; ++i)
+        p.payload[i] = 0xA000 + i * 7;
+    ASSERT_EQ(p.size(), net::kMaxMessageWords);
+
+    std::vector<Word> sent;
+    sent.push_back(core::makeHeader(p.src, false));
+    sent.push_back(p.handler);
+    sent.insert(sent.end(), p.payload.begin(), p.payload.end());
+    const std::uint64_t hash_in = windowHash(sent);
+
+    ASSERT_TRUE(vb.allocatePage());
+    vb.insert(std::move(p));
+    ASSERT_TRUE(vb.available());
+    ASSERT_EQ(vb.size(), net::kMaxMessageWords);
+
+    std::vector<Word> got;
+    for (unsigned i = 0; i < vb.size(); ++i)
+        got.push_back(vb.read(i));
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(windowHash(got), hash_in);
+    vb.pop();
+    EXPECT_FALSE(vb.available());
+}
+
+TEST_F(VbufTest, ZeroPayloadRecordRoundTrips)
+{
+    net::Packet p = pkt(0, 0);
+    ASSERT_EQ(p.size(), 2u);
+    ASSERT_TRUE(vb.allocatePage());
+    vb.insert(std::move(p));
+    ASSERT_TRUE(vb.available());
+    ASSERT_EQ(vb.size(), 2u);
+    EXPECT_EQ(core::headerNode(vb.read(0)), 3);
+    EXPECT_EQ(vb.read(1), 9u);
+    vb.pop();
+    EXPECT_FALSE(vb.available());
+}
+
+TEST_F(VbufTest, MaxSizeRecordSurvivesSwapRoundTrip)
+{
+    // Same max-size record, but through the swap-out / page-in path:
+    // buffered content must be transparent across paging too.
+    VirtualBuffer v2(pool, &sg, 0, 2);
+    const unsigned per_page = kPageWords / (net::kMaxMessageWords + 2);
+    std::vector<std::uint64_t> hashes;
+    for (unsigned i = 0; i < per_page + 1; ++i) {
+        net::Packet p = pkt(0, net::kMaxPayloadWords);
+        for (unsigned j = 0; j < net::kMaxPayloadWords; ++j)
+            p.payload[j] = i * 100 + j;
+        std::vector<Word> sent;
+        sent.push_back(core::makeHeader(p.src, false));
+        sent.push_back(p.handler);
+        sent.insert(sent.end(), p.payload.begin(), p.payload.end());
+        hashes.push_back(windowHash(sent));
+        if (v2.needsNewPageFor(p)) {
+            ASSERT_TRUE(v2.allocatePage());
+        }
+        v2.insert(std::move(p));
+    }
+    ASSERT_EQ(v2.swapOut(1), 1u);
+    for (unsigned i = 0; i < per_page + 1; ++i) {
+        if (v2.frontSwapped())
+            ASSERT_TRUE(v2.pageInFront());
+        ASSERT_TRUE(v2.available());
+        std::vector<Word> got;
+        for (unsigned w = 0; w < v2.size(); ++w)
+            got.push_back(v2.read(w));
+        EXPECT_EQ(windowHash(got), hashes[i]) << "record " << i;
+        v2.pop();
+    }
+    EXPECT_FALSE(v2.available());
+}
+
 } // namespace
