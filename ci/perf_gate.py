@@ -16,11 +16,14 @@ uniformly is indistinguishable from a slower host and passes; that is
 the price of a host-portable gate (--absolute compares raw numbers
 for same-host A/B runs). Rows present in the baseline but missing
 from the current report fail the gate — silent coverage loss is a
-regression too.
+regression too. Current rows absent from the baseline are a warning
+by default (the gate still passes) and a failure under --strict, so
+a bench that grows a new gated section cannot silently ship it
+ungated — regenerating bench/baselines/ is part of the change.
 
 Usage:
   ci/perf_gate.py BASELINE.json CURRENT.json [--threshold 0.10]
-                  [--absolute]
+                  [--absolute] [--strict]
 """
 
 import argparse
@@ -50,6 +53,9 @@ def main():
                     help="allowed fractional regression (default 0.10)")
     ap.add_argument("--absolute", action="store_true",
                     help="skip host normalization (same-host A/B)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (not warn) on current rows missing "
+                         "from the baseline")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -68,7 +74,8 @@ def main():
 
     extra = sorted(k for k in cur if k not in base)
     for k in extra:
-        print(f"WARN: current row not in baseline (not gated): "
+        kind = "FAIL" if args.strict else "WARN"
+        print(f"{kind}: current row not in baseline (not gated): "
               f"{dict(k)} — regenerate bench/baselines/ to cover it")
 
     scale = 1.0
@@ -77,6 +84,8 @@ def main():
         print(f"host scale (median current/baseline): {scale:.3f}")
 
     failures = len(missing)
+    if args.strict:
+        failures += len(extra)
     for key, (b, c) in sorted(matched.items()):
         floor = (1.0 - args.threshold) * b * scale
         verdict = "ok" if c >= floor else "FAIL"

@@ -198,8 +198,7 @@ NetIf::dispose(bool user_mode)
         stats.fastLatency.sample(static_cast<double>(lat));
         FUGU_TRACE(tracer_, id_, trace::Type::DirectExtract,
                    trace::userMsgId(f.seq), trace::DivertReason::None,
-                   static_cast<std::uint32_t>(
-                       lat > 0xffffffffull ? 0xffffffffull : lat));
+                   trace::packExtractAux(f.gid, lat));
     }
     inq_.pop();
     ++stats.disposed;

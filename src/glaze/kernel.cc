@@ -572,8 +572,7 @@ Kernel::onDisposeExtend(exec::ContextPtr)
         stats.bufLatency.sample(static_cast<double>(lat));
         FUGU_TRACE(tracer(), id_, trace::Type::BufExtract,
                    trace::userMsgId(f.seq), trace::DivertReason::None,
-                   static_cast<std::uint32_t>(
-                       lat > 0xffffffffull ? 0xffffffffull : lat));
+                   trace::packExtractAux(f.gid, lat));
     }
     p->vbuf().pop();
     if (!p->vbuf().empty() && p->vbuf().frontSwapped()) {

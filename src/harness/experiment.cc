@@ -86,6 +86,8 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
         out.overflowEvents += node.kernel.stats.overflowEvents.value();
         out.atomicityTimeouts += node.ni.stats.atomicityTimeouts.value();
         out.bufferInserts += node.kernel.stats.bufferInserts.value();
+        out.fastLatency.merge(node.ni.stats.fastLatency.data());
+        out.bufLatency.merge(node.kernel.stats.bufLatency.data());
     }
     return out;
 }
@@ -171,6 +173,10 @@ runTrials(const MachineConfig &mcfg, const AppFactory &app,
         acc.overflowEvents += r.overflowEvents;
         acc.atomicityTimeouts += r.atomicityTimeouts;
         acc.bufferInserts += r.bufferInserts;
+        // Histograms merge, not average: percentiles then cover every
+        // sample of every trial instead of only the last one.
+        acc.fastLatency.merge(r.fastLatency);
+        acc.bufLatency.merge(r.bufLatency);
     }
     acc.runtime /= trials;
     acc.events /= trials;

@@ -16,6 +16,7 @@
 #include "apps/workloads.hh"
 #include "glaze/machine.hh"
 #include "sim/config.hh"
+#include "sim/stats.hh"
 
 namespace fugu::harness
 {
@@ -45,6 +46,14 @@ struct RunStats
     bool completed = false;
 
     /**
+     * Machine-wide message-delivery latency (inject to extract),
+     * split by path. Merged — not averaged — across nodes and
+     * trials, so percentiles cover every sample of every trial.
+     */
+    HistogramData fastLatency;
+    HistogramData bufLatency;
+
+    /**
      * Bitwise equality of everything the simulation semantically
      * produced (replay verification). `events` is deliberately
      * excluded: it counts engine work — e.g. the fault subsystem's
@@ -65,7 +74,9 @@ struct RunStats
                bufferInserts == o.bufferInserts &&
                violations == o.violations &&
                faultEvents == o.faultEvents &&
-               completed == o.completed;
+               completed == o.completed &&
+               fastLatency == o.fastLatency &&
+               bufLatency == o.bufLatency;
     }
 };
 

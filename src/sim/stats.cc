@@ -32,7 +32,7 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
 }
 
 unsigned
-Histogram::bucketOf(double v)
+HistogramData::bucketOf(double v)
 {
     // NaN fails every ordered comparison, so `v < 1.0` would fall
     // through to the cast below — UB for NaN, and likewise for +inf
@@ -56,7 +56,7 @@ Histogram::bucketOf(double v)
 }
 
 double
-Histogram::bucketUpperEdge(unsigned b)
+HistogramData::bucketUpperEdge(unsigned b)
 {
     const unsigned octave = b / kSub;
     const unsigned sub = b % kSub;
@@ -66,7 +66,7 @@ Histogram::bucketUpperEdge(unsigned b)
 }
 
 void
-Histogram::sample(double v)
+HistogramData::sample(double v)
 {
     // Degenerate samples must not poison sum/min/max (a single NaN
     // would make every aggregate NaN forever): NaN and negatives
@@ -76,49 +76,56 @@ Histogram::sample(double v)
         v = 0;
     else if (v > 0x1p63)
         v = 0x1p63;
-    ++count_;
-    sum_ += v;
-    min_ = count_ == 1 ? v : std::min(min_, v);
-    max_ = count_ == 1 ? v : std::max(max_, v);
-    ++buckets_[bucketOf(v)];
+    ++count;
+    sum += v;
+    min = count == 1 ? v : std::min(min, v);
+    max = count == 1 ? v : std::max(max, v);
+    ++buckets[bucketOf(v)];
+}
+
+void
+HistogramData::merge(const HistogramData &o)
+{
+    if (o.count == 0)
+        return;
+    if (count == 0) {
+        min = o.min;
+        max = o.max;
+    } else {
+        min = std::min(min, o.min);
+        max = std::max(max, o.max);
+    }
+    count += o.count;
+    sum += o.sum;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += o.buckets[b];
 }
 
 double
-Histogram::percentile(double p) const
+HistogramData::percentile(double p) const
 {
-    if (!count_)
+    if (!count)
         return 0;
-    const double target = p / 100.0 * static_cast<double>(count_);
+    const double target = p / 100.0 * static_cast<double>(count);
     std::uint64_t cum = 0;
     for (unsigned b = 0; b < kBuckets; ++b) {
-        cum += buckets_[b];
+        cum += buckets[b];
         if (static_cast<double>(cum) >= target && cum > 0)
-            return std::min(bucketUpperEdge(b), max_);
+            return std::min(bucketUpperEdge(b), max);
     }
-    return max_;
+    return max;
 }
 
 void
 Histogram::print(std::ostream &os, const std::string &prefix) const
 {
-    os << prefix << name() << "::count " << count_ << " # " << desc()
+    os << prefix << name() << "::count " << count() << " # " << desc()
        << "\n";
     os << prefix << name() << "::mean " << mean() << "\n";
     os << prefix << name() << "::p50 " << percentile(50) << "\n";
     os << prefix << name() << "::p95 " << percentile(95) << "\n";
     os << prefix << name() << "::p99 " << percentile(99) << "\n";
     os << prefix << name() << "::max " << maxValue() << "\n";
-}
-
-void
-Histogram::reset()
-{
-    count_ = 0;
-    sum_ = 0;
-    min_ = 0;
-    max_ = 0;
-    for (auto &b : buckets_)
-        b = 0;
 }
 
 StatGroup::StatGroup(std::string name, StatGroup *parent)

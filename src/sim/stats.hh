@@ -115,44 +115,80 @@ class Distribution : public Stat
 };
 
 /**
- * Log-bucketed histogram with approximate percentiles. Samples are
+ * The plain-value core of a log-bucketed histogram: copyable, default
+ * comparable, and mergeable, so latency distributions can cross
+ * machine/trial boundaries (RunStats carries them, runTrials merges
+ * them) without the Stat registration machinery. Samples are
  * non-negative; each power-of-two octave is split into 4 sub-buckets,
  * so the quantile error is bounded by ~25% of the value — plenty for
  * latency distributions spanning decades. Exact count/sum/min/max are
  * kept alongside.
  */
+struct HistogramData
+{
+    /** 64 octaves x 4 sub-buckets covers the whole u64 cycle range. */
+    static constexpr unsigned kSub = 4;
+    static constexpr unsigned kBuckets = 64 * kSub;
+
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    void sample(double v);
+
+    /**
+     * Fold another histogram into this one: bucket-wise addition plus
+     * exact count/sum/min/max combination. Merging histograms of two
+     * sample populations yields exactly the histogram of their
+     * concatenation, so per-trial (or per-node) distributions
+     * aggregate without losing percentile fidelity.
+     */
+    void merge(const HistogramData &o);
+
+    /** Value at percentile @p p in [0,100] (upper bucket edge). */
+    double percentile(double p) const;
+
+    double mean() const { return count ? sum / count : 0; }
+    double minValue() const { return count ? min : 0; }
+    double maxValue() const { return count ? max : 0; }
+
+    bool operator==(const HistogramData &o) const = default;
+
+    static unsigned bucketOf(double v);
+    static double bucketUpperEdge(unsigned b);
+};
+
+/** A HistogramData registered as a named statistic in a StatGroup. */
 class Histogram : public Stat
 {
   public:
     using Stat::Stat;
 
-    void sample(double v);
+    void sample(double v) { d_.sample(v); }
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0; }
-    double minValue() const { return count_ ? min_ : 0; }
-    double maxValue() const { return count_ ? max_ : 0; }
+    /** Fold another histogram's samples into this one. */
+    void merge(const HistogramData &o) { d_.merge(o); }
+    void merge(const Histogram &o) { d_.merge(o.d_); }
+
+    /** The copyable sample distribution. */
+    const HistogramData &data() const { return d_; }
+
+    std::uint64_t count() const { return d_.count; }
+    double sum() const { return d_.sum; }
+    double mean() const { return d_.mean(); }
+    double minValue() const { return d_.minValue(); }
+    double maxValue() const { return d_.maxValue(); }
 
     /** Value at percentile @p p in [0,100] (upper bucket edge). */
-    double percentile(double p) const;
+    double percentile(double p) const { return d_.percentile(p); }
 
     void print(std::ostream &os, const std::string &prefix) const override;
-    void reset() override;
+    void reset() override { d_ = HistogramData{}; }
 
   private:
-    /** 64 octaves x 4 sub-buckets covers the whole u64 cycle range. */
-    static constexpr unsigned kSub = 4;
-    static constexpr unsigned kBuckets = 64 * kSub;
-
-    static unsigned bucketOf(double v);
-    static double bucketUpperEdge(unsigned b);
-
-    std::uint64_t count_ = 0;
-    double sum_ = 0;
-    double min_ = 0;
-    double max_ = 0;
-    std::uint64_t buckets_[kBuckets] = {};
+    HistogramData d_;
 };
 
 /**

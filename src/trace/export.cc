@@ -271,6 +271,13 @@ summarize(const std::vector<TraceEvent> &events)
 
     std::unordered_map<std::uint64_t, Cycle> injectTs;
     std::vector<Cycle> fast, buffered;
+    struct GidAccum
+    {
+        std::uint64_t fast = 0;
+        std::uint64_t buffered = 0;
+        std::vector<Cycle> lat;
+    };
+    std::map<Gid, GidAccum> byGid;
     struct ChanState
     {
         unsigned inFlight = 0;
@@ -311,11 +318,14 @@ summarize(const std::vector<TraceEvent> &events)
             break;
           case Type::DirectExtract:
           case Type::BufExtract: {
+            GidAccum &g = byGid[extractAuxGid(e.aux)];
+            (t == Type::DirectExtract ? g.fast : g.buffered) += 1;
             auto it = injectTs.find(e.msg);
             if (it == injectTs.end())
                 break; // inject lost to ring wrap-around
-            (t == Type::DirectExtract ? fast : buffered)
-                .push_back(e.ts - it->second);
+            const Cycle lat = e.ts - it->second;
+            (t == Type::DirectExtract ? fast : buffered).push_back(lat);
+            g.lat.push_back(lat);
             injectTs.erase(it);
             break;
           }
@@ -326,12 +336,35 @@ summarize(const std::vector<TraceEvent> &events)
 
     s.fastLatency = percentiles(fast);
     s.bufferedLatency = percentiles(buffered);
+    for (auto &[gid, g] : byGid) {
+        Summary::GidStats gs;
+        gs.gid = gid;
+        gs.fast = g.fast;
+        gs.buffered = g.buffered;
+        gs.latency = percentiles(g.lat);
+        s.byGid.push_back(gs);
+    }
     for (const auto &[key, c] : chans)
         s.channels.push_back({static_cast<NodeId>(key >> 16),
                               static_cast<NodeId>(key & 0xffffu),
                               c.peak});
     return s;
 }
+
+namespace
+{
+
+/** Deterministic one-decimal percentage (no locale/float formatting). */
+std::string
+pctTenths(double pct)
+{
+    const std::uint64_t tenths =
+        static_cast<std::uint64_t>(pct * 10.0 + 0.5);
+    return std::to_string(tenths / 10) + "." +
+           std::to_string(tenths % 10);
+}
+
+} // namespace
 
 void
 printSummary(std::ostream &os, const Summary &s)
@@ -372,6 +405,22 @@ printSummary(std::ostream &os, const Summary &s)
     os << "\ndelivery latency (cycles, inject->extract):\n";
     lat("  fast path    ", s.fastLatency);
     lat("  buffered path", s.bufferedLatency);
+
+    if (!s.byGid.empty()) {
+        os << "\nper-GID extraction breakdown:\n";
+        for (const auto &g : s.byGid) {
+            const std::uint64_t n = g.fast + g.buffered;
+            os << "  gid " << g.gid << ": extracted " << n << " (fast "
+               << g.fast << ", buffered " << g.buffered << ", "
+               << pctTenths(g.bufferedPct()) << "% buffered)";
+            if (g.latency.count)
+                os << " latency p50=" << g.latency.p50
+                   << " p95=" << g.latency.p95
+                   << " p99=" << g.latency.p99
+                   << " max=" << g.latency.max;
+            os << "\n";
+        }
+    }
 
     os << "\nchannel peak occupancy (words in flight):\n";
     unsigned shown = 0;

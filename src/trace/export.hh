@@ -78,6 +78,30 @@ struct Summary
     LatencyStats fastLatency;
     LatencyStats bufferedLatency;
 
+    /**
+     * Per-GID extraction breakdown (multi-tenant attribution for
+     * serving runs): counts come from every extract event's packed
+     * aux GID; latency percentiles from matched inject->extract
+     * pairs only.
+     */
+    struct GidStats
+    {
+        Gid gid = 0;
+        std::uint64_t fast = 0;     ///< DirectExtract count
+        std::uint64_t buffered = 0; ///< BufExtract count
+        LatencyStats latency;
+
+        double
+        bufferedPct() const
+        {
+            const std::uint64_t n = fast + buffered;
+            return n ? 100.0 * static_cast<double>(buffered) /
+                           static_cast<double>(n)
+                     : 0.0;
+        }
+    };
+    std::vector<GidStats> byGid; ///< sorted by gid
+
     /** Peak words in flight per (src,dst) channel, from Inject/NetAccept. */
     struct ChannelPeak
     {

@@ -121,6 +121,37 @@ osMsgId(std::uint64_t seq)
     return (seq << 1) | 1;
 }
 
+/**
+ * Extract events (DirectExtract/BufExtract) pack the receiving GID and
+ * the delivery latency (inject to extract, cycles) into aux: the GID
+ * in the top byte, the latency saturated into the low 24 bits. The
+ * per-tenant breakdown in `tracetool summarize` attributes every
+ * extraction without a matching Inject record (which a wrapped ring
+ * may have dropped).
+ */
+constexpr std::uint32_t
+packExtractAux(Gid gid, Cycle latency)
+{
+    const std::uint32_t g =
+        gid > 0xff ? 0xffu : static_cast<std::uint32_t>(gid);
+    const std::uint32_t lat =
+        latency > 0xffffffull ? 0xffffffu
+                              : static_cast<std::uint32_t>(latency);
+    return (g << 24) | lat;
+}
+
+constexpr Gid
+extractAuxGid(std::uint32_t aux)
+{
+    return static_cast<Gid>(aux >> 24);
+}
+
+constexpr Cycle
+extractAuxLatency(std::uint32_t aux)
+{
+    return aux & 0xffffffu;
+}
+
 /** Recorder knobs, embedded in MachineConfig. */
 struct Options
 {

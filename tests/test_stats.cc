@@ -139,6 +139,63 @@ TEST(StatsTest, HistogramDegenerateSamplesStayFinite)
     EXPECT_TRUE(std::isfinite(h.percentile(50)));
 }
 
+TEST(StatsTest, HistogramMergeEqualsConcatenation)
+{
+    // Merging two populations must yield exactly the histogram of
+    // their concatenation — that is what lets runTrials fold
+    // per-trial latency distributions without losing percentiles.
+    HistogramData a, b, both;
+    for (int i = 1; i <= 500; ++i) {
+        a.sample(i);
+        both.sample(i);
+    }
+    for (int i = 2000; i <= 2300; ++i) {
+        b.sample(i);
+        both.sample(i);
+    }
+    HistogramData merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged, both);
+    EXPECT_EQ(merged.count, 801u);
+    EXPECT_DOUBLE_EQ(merged.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(merged.maxValue(), 2300.0);
+    for (double p : {50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(merged.percentile(p), both.percentile(p));
+}
+
+TEST(StatsTest, HistogramMergeEmptyCases)
+{
+    HistogramData a, empty;
+    a.sample(7);
+    HistogramData m = a;
+    m.merge(empty); // no-op
+    EXPECT_EQ(m, a);
+    HistogramData e2;
+    e2.merge(a); // into empty == copy
+    EXPECT_EQ(e2, a);
+    HistogramData e3;
+    e3.merge(empty);
+    EXPECT_EQ(e3.count, 0u);
+    EXPECT_DOUBLE_EQ(e3.percentile(50), 0.0);
+}
+
+TEST(StatsTest, HistogramWrapperMergeMatchesData)
+{
+    StatGroup root("root");
+    Histogram h(&root, "lat", "latency");
+    Histogram g(&root, "lat2", "latency");
+    h.sample(10);
+    g.sample(1000);
+    g.sample(3000);
+    h.merge(g);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 3000.0);
+    Histogram h2(&root, "lat3", "latency");
+    h2.sample(10);
+    h2.merge(g.data());
+    EXPECT_EQ(h2.data(), h.data());
+}
+
 TEST(StatsTest, ChildGroupMayBeDestroyedFirst)
 {
     StatGroup root("root");

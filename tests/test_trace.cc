@@ -515,6 +515,68 @@ TEST_F(TraceTest, DivertCountsSumToBufferInserts)
     // Buffered extractions drain exactly what was diverted.
     EXPECT_EQ(s.byType[static_cast<unsigned>(Type::BufExtract)],
               s.totalDiverts());
+
+    // Every extraction carries its GID in the packed aux, so the
+    // per-GID breakdown must cover the same population: fast+buffered
+    // summed over byGid equals the extract totals, and the measured
+    // job's GID shows both delivery cases.
+    std::uint64_t fast = 0, buffered = 0;
+    for (const auto &g : s.byGid) {
+        fast += g.fast;
+        buffered += g.buffered;
+    }
+    EXPECT_EQ(fast,
+              s.byType[static_cast<unsigned>(Type::DirectExtract)]);
+    EXPECT_EQ(buffered,
+              s.byType[static_cast<unsigned>(Type::BufExtract)]);
+}
+
+TEST(ExtractAuxTest, PackRoundTripsAndSaturates)
+{
+    const std::uint32_t aux = packExtractAux(Gid{7}, Cycle{123456});
+    EXPECT_EQ(extractAuxGid(aux), 7u);
+    EXPECT_EQ(extractAuxLatency(aux), 123456u);
+    // GID clamps to one byte, latency saturates at 24 bits.
+    EXPECT_EQ(extractAuxGid(packExtractAux(Gid{0x1ff}, 0)), 0xffu);
+    EXPECT_EQ(extractAuxLatency(packExtractAux(0, Cycle{1} << 30)),
+              0xffffffu);
+}
+
+TEST(ExtractAuxTest, SummarizeBreaksExtractionsDownByGid)
+{
+    // Synthetic lifecycle: two fast extractions for gid 3 (one with a
+    // matching inject, one orphaned) and one buffered for gid 5.
+    std::vector<TraceEvent> ev;
+    ev.push_back({100, userMsgId(1), 0, 0,
+                  static_cast<std::uint8_t>(Type::Inject), 0});
+    ev.push_back({150, userMsgId(1), packExtractAux(3, 50), 1,
+                  static_cast<std::uint8_t>(Type::DirectExtract), 0});
+    ev.push_back({160, userMsgId(9), packExtractAux(3, 7), 1,
+                  static_cast<std::uint8_t>(Type::DirectExtract), 0});
+    ev.push_back({200, userMsgId(2), 0, 0,
+                  static_cast<std::uint8_t>(Type::Inject), 0});
+    ev.push_back({1200, userMsgId(2), packExtractAux(5, 1000), 2,
+                  static_cast<std::uint8_t>(Type::BufExtract), 0});
+
+    const Summary s = summarize(ev);
+    ASSERT_EQ(s.byGid.size(), 2u);
+    EXPECT_EQ(s.byGid[0].gid, 3u);
+    EXPECT_EQ(s.byGid[0].fast, 2u);
+    EXPECT_EQ(s.byGid[0].buffered, 0u);
+    // Latency percentiles only from matched inject->extract pairs.
+    EXPECT_EQ(s.byGid[0].latency.count, 1u);
+    EXPECT_EQ(s.byGid[0].latency.p50, 50u);
+    EXPECT_EQ(s.byGid[1].gid, 5u);
+    EXPECT_EQ(s.byGid[1].fast, 0u);
+    EXPECT_EQ(s.byGid[1].buffered, 1u);
+    EXPECT_EQ(s.byGid[1].latency.p50, 1000u);
+    EXPECT_DOUBLE_EQ(s.byGid[1].bufferedPct(), 100.0);
+
+    // The printable summary mentions both GIDs.
+    std::ostringstream os;
+    printSummary(os, s);
+    EXPECT_NE(os.str().find("gid 3"), std::string::npos);
+    EXPECT_NE(os.str().find("gid 5"), std::string::npos);
 }
 
 } // namespace

@@ -19,6 +19,8 @@
 
 #include "glaze/machine.hh"
 #include "harness/experiment.hh"
+#include "serve/serve.hh"
+#include "sim/arrival.hh"
 #include "sim/config.hh"
 
 using namespace fugu;
@@ -29,18 +31,27 @@ namespace
 /** Sections owned by the shared registry (everything else is
  *  bench-local). */
 const std::vector<std::string> kSharedSections{
-    "machine", "net",  "osnet",    "ni",   "costs",
-    "trace",   "gang", "workloads", "apps", "harness"};
+    "machine", "net",  "osnet",     "ni",   "costs",   "trace",
+    "gang",    "workloads", "apps", "harness", "serve", "arrival"};
 
 /** One Apply walk over default-constructed shared config structs. */
 void
 bindShared(sim::Binder &b, glaze::MachineConfig &machine,
            glaze::GangConfig &gang, harness::Workloads &wl,
+           serve::ServeConfig &serve_cfg, sim::ArrivalConfig &arrival,
            unsigned &trials, Cycle &max_cycles)
 {
     glaze::bindConfig(b, machine);
     glaze::bindConfig(b, gang);
     wl.bind(b);
+    {
+        auto s = b.push("serve");
+        serve::bindConfig(b, serve_cfg);
+    }
+    {
+        auto s = b.push("arrival");
+        sim::bindConfig(b, arrival);
+    }
     auto s = b.push("harness");
     b.item("trials", trials,
            "trials (differing only in seed) averaged per data point");
@@ -57,9 +68,12 @@ cmdParams()
     glaze::MachineConfig machine;
     glaze::GangConfig gang;
     harness::Workloads wl;
+    serve::ServeConfig serve_cfg;
+    sim::ArrivalConfig arrival;
     unsigned trials = 3;
     Cycle max_cycles = 100000000000ull;
-    bindShared(b, machine, gang, wl, trials, max_cycles);
+    bindShared(b, machine, gang, wl, serve_cfg, arrival, trials,
+               max_cycles);
     if (!b.ok()) {
         std::fprintf(stderr, "%s\n", b.error().c_str());
         return 1;
@@ -84,9 +98,12 @@ cmdCheck(const std::vector<std::string> &files)
         glaze::MachineConfig machine;
         glaze::GangConfig gang;
         harness::Workloads wl;
+        serve::ServeConfig serve_cfg;
+        sim::ArrivalConfig arrival;
         unsigned trials = 3;
         Cycle max_cycles = 100000000000ull;
-        bindShared(b, machine, gang, wl, trials, max_cycles);
+        bindShared(b, machine, gang, wl, serve_cfg, arrival, trials,
+                   max_cycles);
         if (!b.ok()) {
             std::fprintf(stderr, "%s\n", b.error().c_str());
             rc = 1;
