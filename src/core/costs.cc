@@ -68,6 +68,21 @@ bindConfig(sim::Binder &b, CostModel &c)
            "path",
            "cycles");
 
+    // NI-buffering backend charges (ni.backend ablations).
+    b.item("damq_select", c.damqSelect,
+           "DAMQ associative head select, per fast-path stub entry",
+           "cycles");
+    b.item("zerocopy_insert_min", c.zerocopyInsertMin,
+           "zerocopy buffer insert (page flip), page resident",
+           "cycles");
+    b.item("vm_remap", c.vmRemap,
+           "remap the arrival page into the buffer region",
+           "cycles");
+    b.item("zerocopy_per_word_x2", c.zerocopyPerWordX2,
+           "per-word drain cost from a flipped page, doubled to keep "
+           "integers",
+           "half-cycles");
+
     // Operating system costs (not from the paper's tables).
     b.item("process_switch", c.processSwitch,
            "gang-scheduler process switch", "cycles");

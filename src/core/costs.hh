@@ -81,6 +81,17 @@ struct CostModel
     Cycle bufferedPathExtra = 0;   ///< Figure 10 knob: added latency
     /// @}
 
+    /// @name NI-buffering backend charges (ni.backend ablations)
+    /// @{
+    Cycle damqSelect = 3;          ///< DAMQ associative head select,
+                                   ///< charged per fast-path stub entry
+    Cycle zerocopyInsertMin = 62;  ///< page-flip insert, page resident
+    Cycle vmRemap = 420;           ///< remap the arrival page into the
+                                   ///< buffer region (vs. vmallocExtra)
+    /** Flipped pages drain TLB-warm: ~2.5 cycles per word. */
+    Cycle zerocopyPerWordX2 = 5;   ///< stored doubled to keep integers
+    /// @}
+
     /// @name Operating system costs (not from the paper's tables)
     /// @{
     Cycle processSwitch = 400;     ///< gang-scheduler process switch

@@ -18,6 +18,16 @@ bindConfig(sim::Binder &b, NetIfConfig &c)
     b.item("atomicity_timeout", c.atomicityTimeout,
            "atomicity-timeout preset (a free parameter, Section 4.1)",
            "cycles");
+    b.enumItem("backend", c.backend,
+               {{"static_fifo", NiBackendKind::StaticFifo},
+                {"damq", NiBackendKind::Damq},
+                {"zerocopy_remap", NiBackendKind::ZerocopyRemap}},
+               "NI input-queue buffering design (core/nibuf.hh)");
+    b.item("damq_pool_msgs", c.damqPoolMsgs,
+           "DAMQ shared slot pool (input + live output descriptor)",
+           "messages");
+    b.item("damq_flow_msgs", c.damqFlowMsgs,
+           "DAMQ per-(source,GID) flow occupancy cap", "messages");
 }
 
 namespace
@@ -63,7 +73,7 @@ NetIf::Stats::Stats(StatGroup *parent, NodeId id)
 NetIf::NetIf(exec::Cpu &cpu, net::Network &network, NodeId id,
              NetIfConfig cfg, StatGroup *stat_parent)
     : stats(stat_parent, id), cpu_(cpu), network_(network), id_(id),
-      cfg_(cfg), inq_(cfg.inputQueueMsgs), outBuf_{}
+      cfg_(cfg), inb_(makeNiBackend(cfg_)), outBuf_{}
 {
     fugu_assert(cfg_.inputQueueMsgs >= 1);
     network_.attach(id, this);
@@ -81,18 +91,18 @@ NetIf::tryDeliver(net::Packet &&pkt)
     // and re-offers it when the burst expires.
     if (fault_ && fault_->inputDenied(id_))
         return false;
-    if (inq_.full())
+    if (!inb_->canAccept(pkt))
         return false;
-    inq_.push(std::move(pkt));
+    const net::Packet &stored = inb_->accept(std::move(pkt));
     ++stats.received;
     FUGU_TRACE(tracer_, id_, trace::Type::NetAccept,
-               trace::userMsgId(inq_.back().seq),
+               trace::userMsgId(stored.seq),
                trace::DivertReason::None,
-               (static_cast<std::uint32_t>(inq_.back().src) << 16) |
-                   inq_.back().size());
+               (static_cast<std::uint32_t>(stored.src) << 16) |
+                   stored.size());
     if (niTraceOn())
         std::printf("[ni] n%u deliver h=%u src=%u q=%zu\n", id_,
-                    inq_.back().handler, inq_.back().src, inq_.size());
+                    stored.handler, stored.src, inb_->size());
     updateLines();
     return true;
 }
@@ -101,23 +111,32 @@ NetIf::tryDeliver(net::Packet &&pkt)
 // User-visible registers
 // ---------------------------------------------------------------------
 
+const net::Packet *
+NetIf::visibleHead() const
+{
+    const net::Packet *u = inb_->userHead(gid_, divert_);
+    return u ? u : inb_->oldest();
+}
+
 bool
 NetIf::messageAvailable() const
 {
-    return !inq_.empty() && !divert_ && inq_.front().gid == gid_;
+    return inb_->userHead(gid_, divert_) != nullptr;
 }
 
 unsigned
 NetIf::inputSize() const
 {
-    return inq_.empty() ? 0 : inq_.front().size();
+    const net::Packet *h = visibleHead();
+    return h ? h->size() : 0;
 }
 
 Word
 NetIf::readInput(unsigned offset) const
 {
-    fugu_assert(!inq_.empty(), "input window read with no message");
-    const net::Packet &p = inq_.front();
+    const net::Packet *h = visibleHead();
+    fugu_assert(h, "input window read with no message");
+    const net::Packet &p = *h;
     if (offset == 0)
         return makeHeader(p.src, p.gid == kKernelGid);
     if (offset == 1)
@@ -129,13 +148,29 @@ NetIf::readInput(unsigned offset) const
 }
 
 void
+NetIf::setDescLen(unsigned n)
+{
+    const bool was_live = descLen_ > 0;
+    descLen_ = n;
+    const bool live = n > 0;
+    if (live == was_live)
+        return;
+    inb_->onDescriptor(live);
+    // Shared input/output space: the dying descriptor frees an input
+    // slot, so packets refused for it (held at their channel heads)
+    // must be re-offered now.
+    if (!live && inb_->outputCoupled())
+        network_.onSinkSpaceFreed(id_);
+}
+
+void
 NetIf::writeOutput(unsigned offset, Word w)
 {
     fugu_assert(offset < net::kMaxMessageWords,
                 "output descriptor overflow (offset ", offset, ")");
     outBuf_[offset] = w;
     if (offset + 1 > descLen_)
-        descLen_ = offset + 1;
+        setDescLen(offset + 1);
 }
 
 bool
@@ -172,7 +207,7 @@ NetIf::launch(unsigned n, bool user_mode)
     pkt.payload.assign(outBuf_.begin() + 2, outBuf_.begin() + n);
     network_.send(std::move(pkt));
 
-    descLen_ = 0;
+    setDescLen(0);
     ++stats.launches;
     return NiTrap::None;
 }
@@ -184,23 +219,25 @@ NetIf::dispose(bool user_mode)
         return NiTrap::DisposeExtend;
     if (!messageAvailable() && user_mode)
         return NiTrap::BadDispose;
-    fugu_assert(!inq_.empty(), "dispose with empty input queue");
+    fugu_assert(!inb_->empty(), "dispose with empty input queue");
+    const net::Packet *u = inb_->userHead(gid_, divert_);
+    const net::Packet *h = u ? u : inb_->oldest();
     if (niTraceOn())
-        std::printf("[ni] n%u dispose h=%u src=%u\n", id_,
-                    inq_.front().handler, inq_.front().src);
-    if (messageAvailable()) {
+        std::printf("[ni] n%u dispose h=%u src=%u\n", id_, h->handler,
+                    h->src);
+    if (u) {
         // The fast (direct) path completes here: the message went
         // from the wire straight into the handler's dispose.
-        const net::Packet &f = inq_.front();
         if (watcher_)
-            watcher_->onDeliver(f, id_, gid_, /*buffered_path=*/false);
-        const Cycle lat = cpu_.now() - f.injectedAt;
+            watcher_->onDeliver(*u, id_, gid_,
+                                /*buffered_path=*/false);
+        const Cycle lat = cpu_.now() - u->injectedAt;
         stats.fastLatency.sample(static_cast<double>(lat));
         FUGU_TRACE(tracer_, id_, trace::Type::DirectExtract,
-                   trace::userMsgId(f.seq), trace::DivertReason::None,
-                   trace::packExtractAux(f.gid, lat));
+                   trace::userMsgId(u->seq), trace::DivertReason::None,
+                   trace::packExtractAux(u->gid, lat));
     }
-    inq_.pop();
+    inb_->extractAt(h);
     ++stats.disposed;
     // Table 3: dispose resets dispose-pending and presets the timer.
     uac_ &= ~kUacDisposePending;
@@ -271,21 +308,27 @@ NetIf::writeUac(unsigned value)
 bool
 NetIf::mismatchPending() const
 {
-    return !inq_.empty() && (divert_ || inq_.front().gid != gid_);
+    return inb_->mismatchHead(gid_, divert_) != nullptr;
 }
 
 const net::Packet *
 NetIf::head() const
 {
-    return inq_.empty() ? nullptr : &inq_.front();
+    return visibleHead();
+}
+
+const net::Packet *
+NetIf::mismatchHead() const
+{
+    return inb_->mismatchHead(gid_, divert_);
 }
 
 net::Packet
 NetIf::kernelExtract()
 {
-    fugu_assert(!inq_.empty(), "kernelExtract with empty queue");
-    net::Packet p = std::move(inq_.front());
-    inq_.pop();
+    fugu_assert(!inb_->empty(), "kernelExtract with empty queue");
+    const net::Packet *m = inb_->mismatchHead(gid_, divert_);
+    net::Packet p = inb_->extractAt(m ? m : inb_->oldest());
     ++stats.disposed;
     network_.onSinkSpaceFreed(id_);
     updateLines(/*restart_timer=*/true);
@@ -297,7 +340,7 @@ NetIf::saveOutput()
 {
     net::MsgVec saved;
     saved.assign(outBuf_.begin(), outBuf_.begin() + descLen_);
-    descLen_ = 0;
+    setDescLen(0);
     return saved;
 }
 
@@ -306,7 +349,7 @@ NetIf::restoreOutput(const net::MsgVec &saved)
 {
     fugu_assert(descLen_ == 0, "restoreOutput over a live descriptor");
     std::copy(saved.begin(), saved.end(), outBuf_.begin());
-    descLen_ = saved.size();
+    setDescLen(saved.size());
 }
 
 void

@@ -24,10 +24,12 @@
 #define FUGU_CORE_NETIF_HH
 
 #include <array>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/arch.hh"
+#include "core/nibuf.hh"
 #include "exec/cpu.hh"
 #include "net/network.hh"
 #include "sim/stats.hh"
@@ -63,6 +65,15 @@ struct NetIfConfig
 
     /** Atomicity-timeout preset, in user cycles (a free parameter). */
     Cycle atomicityTimeout = 4000;
+
+    /** Input-queue buffering design (see core/nibuf.hh). */
+    NiBackendKind backend = NiBackendKind::StaticFifo;
+
+    /** DAMQ: shared slot pool size (input + live output descriptor). */
+    unsigned damqPoolMsgs = 16;
+
+    /** DAMQ: max slots one (source,GID) flow may occupy. */
+    unsigned damqFlowMsgs = 12;
 };
 
 /** Register NetIfConfig's fields on the scenario/config tree. */
@@ -159,8 +170,22 @@ class NetIf : public net::NetSink
     /** Kernel peek at the head message (null if none). */
     const net::Packet *head() const;
 
-    /** Dequeue the head message without user-mode checks. */
+    /**
+     * The message the kernel's mismatch path should service next
+     * (null if none). For the static FIFO this is the front whenever
+     * mismatchPending(); a DAMQ selects the oldest message needing
+     * kernel attention even behind scheduled-GID traffic.
+     */
+    const net::Packet *mismatchHead() const;
+
+    /**
+     * Dequeue without user-mode checks: the mismatch head if one
+     * needs service, else the oldest message.
+     */
     net::Packet kernelExtract();
+
+    /** The active input-buffering backend (cost/policy queries). */
+    const NiBufferBackend &backend() const { return *inb_; }
 
     /** Save/restore the output descriptor across a context switch. */
     net::MsgVec saveOutput();
@@ -210,57 +235,19 @@ class NetIf : public net::NetSink
 
   private:
     /**
-     * The hardware input queue: a fixed ring sized once from
-     * inputQueueMsgs. The queue is tiny (a handful of messages), and
-     * there is one per node — at 4096 nodes a deque's per-instance
-     * chunk map alone costs megabytes, while the ring is a single
-     * flat allocation that never grows or reallocates.
+     * The head the registers expose: the user-visible head when one
+     * matches, else the oldest message (kernel-mode access order).
+     * For the static FIFO both are the front.
      */
-    class InputRing
-    {
-      public:
-        explicit InputRing(unsigned cap) : slots_(cap) {}
+    const net::Packet *visibleHead() const;
 
-        bool full() const { return count_ == slots_.size(); }
-        bool empty() const { return count_ == 0; }
-        std::size_t size() const { return count_; }
-
-        net::Packet &front() { return slots_[head_]; }
-        const net::Packet &front() const { return slots_[head_]; }
-
-        const net::Packet &
-        back() const
-        {
-            return slots_[wrap(head_ + count_ - 1)];
-        }
-
-        void
-        push(net::Packet &&p)
-        {
-            slots_[wrap(head_ + count_)] = std::move(p);
-            ++count_;
-        }
-
-        net::Packet
-        pop()
-        {
-            net::Packet p = std::move(slots_[head_]);
-            head_ = wrap(head_ + 1);
-            --count_;
-            return p;
-        }
-
-      private:
-        std::size_t
-        wrap(std::size_t i) const
-        {
-            return i >= slots_.size() ? i - slots_.size() : i;
-        }
-
-        std::vector<net::Packet> slots_;
-        std::size_t head_ = 0;
-        std::size_t count_ = 0;
-    };
+    /**
+     * Commit a descriptor-length change to the backend. Backends with
+     * shared input/output space (DAMQ) free an input slot when the
+     * descriptor dies, so the network is re-poked to re-offer any
+     * packet refused for that slot.
+     */
+    void setDescLen(unsigned n);
 
     /** Recompute interrupt lines and timer enable after any change. */
     void updateLines(bool restart_timer = false);
@@ -272,7 +259,7 @@ class NetIf : public net::NetSink
     NodeId id_;
     NetIfConfig cfg_;
 
-    InputRing inq_;
+    std::unique_ptr<NiBufferBackend> inb_;
     std::array<Word, net::kMaxMessageWords> outBuf_;
     unsigned descLen_ = 0;
 

@@ -19,7 +19,9 @@ traceOn()
 } // namespace
 
 UdmPort::UdmPort(exec::Cpu &cpu, NetIf &ni, const CostModel &costs)
-    : cpu_(cpu), ni_(ni), costs_(costs), disposeBase_(costs.nullHandler)
+    : cpu_(cpu), ni_(ni), costs_(costs),
+      bufCosts_(ni.backend().bufferedCosts(costs)),
+      disposeBase_(costs.nullHandler)
 {
 }
 
@@ -116,7 +118,9 @@ UdmPort::read(unsigned idx)
 {
     ++wordsRead_;
     if (buffered_) {
-        co_await cpu_.spend(costs_.bufferArgCost(1));
+        // Backend-dependent drain cost (half-cycle granularity, same
+        // integer floor per word as CostModel::bufferArgCost).
+        co_await cpu_.spend(bufCosts_.perWordX2 / 2);
     } else {
         co_await cpu_.spend(costs_.receiveArgCost(1));
     }
@@ -128,8 +132,9 @@ UdmPort::dispose()
 {
     wordsRead_ = 0;
     if (buffered_) {
-        // Retrieval from DRAM plus the dispose-extend trap emulation.
-        co_await cpu_.spend(costs_.bufferNullHandler +
+        // Retrieval from the buffer plus the dispose-extend trap
+        // emulation; the base cost is the backend's.
+        co_await cpu_.spend(bufCosts_.drainBase +
                             costs_.bufferedPathExtra);
     } else {
         co_await cpu_.spend(disposeBase_);

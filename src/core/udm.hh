@@ -189,6 +189,9 @@ class UdmPort
     NetIf &ni_;
     const CostModel &costs_;
 
+    /** The buffered-path drain costs the NI's backend charges. */
+    NiBufferedCosts bufCosts_;
+
     BufferedInput *buffered_ = nullptr;
     PortObserver *observer_ = nullptr;
     std::vector<Handler> handlers_;

@@ -243,6 +243,8 @@ Kernel::onMessageAvailable()
         entry += c.gidCheck;
     entry += c.timerSetup(atomicity()) + c.virtualBufferingOverhead +
              c.dispatchUpcall;
+    // Backend surcharge (e.g. the DAMQ associative head select).
+    entry += ni().backend().fastExtra(c);
     co_await cpu().spend(entry);
 
     Process *p = current_;
@@ -318,7 +320,7 @@ Kernel::onMismatchAvailable()
     const auto &c = costs();
     co_await cpu().spend(c.interruptOverhead);
     while (ni().mismatchPending()) {
-        const net::Packet *h = ni().head();
+        const net::Packet *h = ni().mismatchHead();
         if (h->gid == kKernelGid) {
             co_await kernelDispatch(ni().kernelExtract());
         } else if (Process *p = findProcess(h->gid)) {
@@ -366,14 +368,17 @@ Kernel::bufferInsert(Process *p, net::Packet pkt,
                      trace::DivertReason reason)
 {
     const auto &c = costs();
+    // How a diverted message gets into the buffer is the backend's
+    // call: the copying insert of Table 5, or a page flip.
+    const core::NiBufferedCosts bc = ni().backend().bufferedCosts(c);
     ++stats.bufferInserts;
     FUGU_TRACE(tracer(), id_, trace::Type::Divert,
                trace::userMsgId(pkt.seq), reason,
                (static_cast<std::uint32_t>(pkt.src) << 16) | p->gid());
-    fugu_assert(c.bufferInsertMin > c.interruptOverhead);
-    co_await cpu().spend(c.bufferInsertMin - c.interruptOverhead);
+    fugu_assert(bc.insertBase > c.interruptOverhead);
+    co_await cpu().spend(bc.insertBase - c.interruptOverhead);
     if (p->vbuf().needsNewPageFor(pkt)) {
-        co_await cpu().spend(c.vmallocExtra);
+        co_await cpu().spend(bc.newPageExtra);
         while (!p->vbuf().allocatePage())
             co_await overflowControl(p);
         if (frames().belowWatermark())

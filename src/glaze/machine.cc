@@ -464,6 +464,7 @@ trace::TraceBuffer
 Machine::mergedTrace() const
 {
     trace::TraceBuffer out(0);
+    out.setTag(cfg.trace.runTag);
     std::vector<std::size_t> idx(tracers_.size(), 0);
     for (;;) {
         std::size_t best = tracers_.size();

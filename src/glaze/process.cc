@@ -28,7 +28,8 @@ Process::Process(exec::Cpu &cpu, core::NetIf &ni,
     : stats(stat_parent, node, gid), cpu_(cpu), costs_(costs),
       node_(node), gid_(gid), job_(job), port_(cpu, ni, costs),
       threads_(cpu, costs), as_(frames),
-      vbuf_(frames, stat_parent, node, gid)
+      vbuf_(frames, stat_parent, node, gid,
+            ni.backend().recordOverheadWords())
 {
     port_.setObserver(this);
 }

@@ -18,8 +18,10 @@ VirtualBuffer::Stats::Stats(StatGroup *parent, NodeId node, Gid gid)
 }
 
 VirtualBuffer::VirtualBuffer(FramePool &frames, StatGroup *parent,
-                             NodeId node, Gid gid)
-    : stats(parent, node, gid), frames_(frames), node_(node)
+                             NodeId node, Gid gid,
+                             unsigned rec_overhead_words)
+    : stats(parent, node, gid), frames_(frames), node_(node),
+      recOverhead_(rec_overhead_words)
 {
 }
 

@@ -33,8 +33,13 @@ namespace fugu::glaze
 class VirtualBuffer : public core::BufferedInput
 {
   public:
+    /**
+     * @param rec_overhead_words per-message bookkeeping words in the
+     *        buffer pages (2 for the copying record layout of Section
+     *        4.2; 0 for page-flip delivery, which keeps no header).
+     */
     VirtualBuffer(FramePool &frames, StatGroup *parent, NodeId node,
-                  Gid gid);
+                  Gid gid, unsigned rec_overhead_words = 2);
     ~VirtualBuffer() override;
 
     VirtualBuffer(const VirtualBuffer &) = delete;
@@ -119,10 +124,10 @@ class VirtualBuffer : public core::BufferedInput
 
   private:
     /** Words a message occupies in the buffer (record header + msg). */
-    static unsigned
-    footprint(const net::Packet &pkt)
+    unsigned
+    footprint(const net::Packet &pkt) const
     {
-        return pkt.size() + 2;
+        return pkt.size() + recOverhead_;
     }
 
     struct Page
@@ -149,6 +154,7 @@ class VirtualBuffer : public core::BufferedInput
 
     FramePool &frames_;
     NodeId node_;
+    unsigned recOverhead_;
     trace::Recorder *tracer_ = nullptr;
     sim::RingDeque<Rec> msgs_;
     sim::RingDeque<Page> pages_;       ///< live pages, front = draining

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <vector>
@@ -119,6 +120,36 @@ TEST(ArrivalTest, EveryMixPreservesTheMeanRate)
         const Stream s = draw(cfg, 0, 200000);
         EXPECT_NEAR(meanGap(s), 500.0, 500.0 * 0.05) << mix;
     }
+}
+
+TEST(ArrivalTest, DiurnalSweepsFullPeriodsWithVisibleRamp)
+{
+    // The soak-scenario sanity check (scenarios/serving_soak.cfg):
+    // a diurnal run sized like the soak must cover at least two full
+    // periods of the rate sinusoid, and the ramp must actually show —
+    // the rising half-period (sin > 0) collects more arrivals than
+    // the falling half. A sample shorter than a period would make the
+    // mean-rate guarantee (EveryMixPreservesTheMeanRate) vacuous.
+    ArrivalConfig cfg;
+    cfg.mix = "diurnal";
+    cfg.ratePerKcycle = 2.0; // mean gap 500 cycles
+    cfg.diurnalPeriodKcycles = 250.0;
+    cfg.diurnalAmp = 0.8;
+    const Stream s = draw(cfg, 0, 4000); // ~2000 kcycles ~ 8 periods
+    const double period = cfg.diurnalPeriodKcycles * 1000.0;
+
+    double t = 0;
+    std::uint64_t rising = 0, falling = 0;
+    for (Cycle g : s.gaps) {
+        t += static_cast<double>(g);
+        const double phase = std::fmod(t, period);
+        (phase < period / 2 ? rising : falling) += 1;
+    }
+    EXPECT_GE(t, 2.0 * period)
+        << "soak-length draw no longer spans two diurnal periods";
+    EXPECT_GT(static_cast<double>(rising),
+              1.2 * static_cast<double>(falling))
+        << "diurnal ramp not visible across the period";
 }
 
 TEST(ArrivalTest, BurstyIsBurstierThanPoisson)

@@ -159,6 +159,46 @@ TEST(Config, EnumAndBoolParsing)
         << b2.error();
 }
 
+TEST(Config, BackendAcceptsKnownNamesRejectsUnknown)
+{
+    // The ablation axis: every backend name selects its kind, and a
+    // typo'd name fails loudly with the file:line of the offender and
+    // the full menu — scenariotool check inherits this through the
+    // same binder, so a bad scenario never runs as static_fifo.
+    Config tree;
+    std::string err;
+    ASSERT_TRUE(tree.loadString("ni.backend = damq\n", "be.cfg", &err))
+        << err;
+    glaze::MachineConfig machine;
+    glaze::GangConfig gang;
+    harness::Workloads wl;
+    Binder b(tree, Binder::Mode::Apply);
+    bindAll(b, machine, gang, wl);
+    ASSERT_TRUE(b.ok()) << b.error();
+    EXPECT_EQ(machine.ni.backend, core::NiBackendKind::Damq);
+
+    ASSERT_TRUE(tree.setCli("ni.backend=zerocopy_remap", &err)) << err;
+    Binder b2(tree, Binder::Mode::Apply);
+    bindAll(b2, machine, gang, wl);
+    ASSERT_TRUE(b2.ok()) << b2.error();
+    EXPECT_EQ(machine.ni.backend, core::NiBackendKind::ZerocopyRemap);
+
+    Config bad;
+    ASSERT_TRUE(bad.loadString("ni.backend = hybrid_ring\n",
+                               "be_bad.cfg", &err))
+        << err;
+    Binder b3(bad, Binder::Mode::Apply);
+    bindAll(b3, machine, gang, wl);
+    EXPECT_FALSE(b3.ok());
+    EXPECT_NE(b3.error().find("be_bad.cfg:1"), std::string::npos)
+        << b3.error();
+    EXPECT_NE(b3.error().find("ni.backend"), std::string::npos)
+        << b3.error();
+    EXPECT_NE(b3.error().find("static_fifo|damq|zerocopy_remap"),
+              std::string::npos)
+        << b3.error();
+}
+
 TEST(Config, BadSyntaxAndBadKeysRejected)
 {
     Config tree;

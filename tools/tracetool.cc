@@ -32,10 +32,11 @@ usage()
 }
 
 bool
-load(const std::string &path, std::vector<fugu::trace::TraceEvent> &ev)
+load(const std::string &path, std::vector<fugu::trace::TraceEvent> &ev,
+     std::string &tag)
 {
     std::string err;
-    if (!fugu::trace::readBinaryFile(path, ev, &err)) {
+    if (!fugu::trace::readBinaryFile(path, ev, &err, &tag)) {
         std::cerr << "tracetool: " << path << ": " << err << "\n";
         return false;
     }
@@ -57,10 +58,13 @@ main(int argc, char **argv)
         if (argc != 3)
             return usage();
         std::vector<TraceEvent> ev;
-        if (!load(argv[2], ev))
+        std::string tag;
+        if (!load(argv[2], ev, tag))
             return 1;
         std::cout << argv[2] << ":\n";
-        printSummary(std::cout, summarize(ev));
+        Summary s = summarize(ev);
+        s.runTag = tag;
+        printSummary(std::cout, s);
         return 0;
     }
 
@@ -68,10 +72,14 @@ main(int argc, char **argv)
         if (argc != 4)
             return usage();
         std::vector<TraceEvent> a, b;
-        if (!load(argv[2], a) || !load(argv[3], b))
+        std::string ta, tb;
+        if (!load(argv[2], a, ta) || !load(argv[3], b, tb))
             return 1;
         std::cout << "A = " << argv[2] << "\nB = " << argv[3] << "\n";
-        printDiff(std::cout, summarize(a), summarize(b));
+        Summary sa = summarize(a), sb = summarize(b);
+        sa.runTag = ta;
+        sb.runTag = tb;
+        printDiff(std::cout, sa, sb);
         return 0;
     }
 
