@@ -1,0 +1,438 @@
+#include "apps/adversary.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/arch.hh"
+#include "sim/config.hh"
+
+namespace fugu::apps
+{
+
+namespace
+{
+
+/** Handler ids (above the barrier's 32, below CRL's base of 64). */
+constexpr Word kHogFlood = 40;
+constexpr Word kAbuserFlood = 41;
+constexpr Word kCovertFlood = 42;
+constexpr Word kCovertDone = 43;
+constexpr Word kProbeReq = 44;
+constexpr Word kProbeReply = 45;
+
+/**
+ * Spin compute in chunks until the machine clock reaches @p when.
+ * compute(n) charges n *process* cycles, so one big charge would
+ * overshoot by however long the gang deschedules us; chunking keeps
+ * window-aligned adversaries aligned to the shared clock.
+ */
+exec::CoTask<void>
+idleUntil(glaze::Process &p, Cycle when)
+{
+    while (p.port().cpu().now() < when)
+        co_await p.compute(
+            std::min<Cycle>(1000, when - p.port().cpu().now()));
+}
+
+// ---------------------------------------------------------------------
+// hog
+// ---------------------------------------------------------------------
+
+struct HogState
+{
+    HogState(glaze::Process &p, HogAppConfig cfg)
+        : proc(p), cfg(cfg), cv(p.threads()),
+          rng(cfg.seed ^ (0xd6e8feb86659fd93ULL * (p.node() + 1)))
+    {}
+
+    glaze::Process &proc;
+    HogAppConfig cfg;
+    rt::CondVar cv;
+    Rng rng;
+    std::uint64_t received = 0;
+};
+
+exec::CoTask<void>
+hogMain(glaze::Process &p, unsigned nnodes, HogAppConfig cfg)
+{
+    auto st = std::make_shared<HogState>(p, cfg);
+    p.appData = st;
+
+    p.port().setHandler(
+        kHogFlood,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId) -> exec::CoTask<void> {
+            // Sit on the message *before* extracting it: the head
+            // keeps its NI slot (or DAMQ descriptor) for the whole
+            // hold, so the ring backs up behind it.
+            co_await s->proc.compute(s->cfg.holdCycles);
+            co_await port.dispose();
+            ++s->received;
+            s->cv.notifyAll();
+        });
+
+    co_await p.compute(cfg.warmup);
+    const NodeId dst = static_cast<NodeId>((p.node() + 1) % nnodes);
+    for (unsigned i = 0; i < cfg.messages; ++i) {
+        co_await p.compute(st->rng.uniform(1, 2 * cfg.gap));
+        co_await p.port().send(dst, kHogFlood);
+    }
+    while (st->received < cfg.messages)
+        co_await st->cv.wait();
+}
+
+// ---------------------------------------------------------------------
+// abuser
+// ---------------------------------------------------------------------
+
+struct AbuserState
+{
+    AbuserState(glaze::Process &p, AbuserAppConfig cfg)
+        : proc(p), cfg(cfg), cv(p.threads()),
+          rng(cfg.seed ^ (0xa0761d6478bd642fULL * (p.node() + 1)))
+    {}
+
+    glaze::Process &proc;
+    AbuserAppConfig cfg;
+    rt::CondVar cv;
+    Rng rng;
+    std::uint64_t received = 0;
+};
+
+exec::CoTask<void>
+abuserMain(glaze::Process &p, unsigned nnodes, AbuserAppConfig cfg)
+{
+    auto st = std::make_shared<AbuserState>(p, cfg);
+    p.appData = st;
+
+    p.port().setHandler(
+        kAbuserFlood,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId) -> exec::CoTask<void> {
+            co_await port.dispose();
+            ++s->received;
+            s->cv.notifyAll();
+        });
+
+    co_await p.compute(cfg.warmup);
+    if (p.node() == 0) {
+        const std::uint64_t expected =
+            static_cast<std::uint64_t>(nnodes - 1) * cfg.messages;
+        while (st->received < expected) {
+            // Squat: arrivals during the section divert to the vbuf,
+            // which the section keeps the drain from emptying. The
+            // breather is the only window the drain gets.
+            co_await p.port().beginAtomic();
+            co_await p.compute(cfg.holdCycles);
+            co_await p.port().endAtomic();
+            co_await p.compute(cfg.drainGap);
+        }
+    } else {
+        for (unsigned i = 0; i < cfg.messages; ++i) {
+            co_await p.compute(st->rng.uniform(1, 2 * cfg.gap));
+            co_await p.port().send(0, kAbuserFlood);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// squatter
+// ---------------------------------------------------------------------
+
+exec::CoTask<void>
+squatterMain(glaze::Process &p, unsigned nnodes, SquatterAppConfig cfg)
+{
+    AppEnv &e = env(p, nnodes, cfg.seed);
+    if (cfg.timerForce) {
+        // Never open a section at all: the timer then expires with
+        // interrupt-disable clear, exercising the revocation path's
+        // no-section corner on every firing.
+        p.port().ni().beginAtom(core::kUacTimerForce);
+        for (unsigned i = 0; i < cfg.rounds; ++i) {
+            co_await p.compute(cfg.holdCycles);
+            co_await e.barrier.wait();
+        }
+        co_return;
+    }
+    for (unsigned i = 0; i < cfg.rounds; ++i) {
+        co_await p.port().beginAtomic();
+        co_await p.compute(cfg.holdCycles);
+        co_await p.port().endAtomic();
+        co_await e.barrier.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// covert tx / rx
+// ---------------------------------------------------------------------
+
+struct CovertTxState
+{
+    CovertTxState(glaze::Process &p, CovertAppConfig cfg)
+        : proc(p), cfg(cfg), cv(p.threads())
+    {}
+
+    glaze::Process &proc;
+    CovertAppConfig cfg;
+    rt::CondVar cv;
+    unsigned done = 0;
+};
+
+exec::CoTask<void>
+covertTxMain(glaze::Process &p, unsigned nnodes, CovertAppConfig cfg)
+{
+    auto st = std::make_shared<CovertTxState>(p, cfg);
+    p.appData = st;
+
+    p.port().setHandler(
+        kCovertFlood,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId) -> exec::CoTask<void> {
+            co_await s->proc.compute(s->cfg.handlerCost);
+            co_await port.dispose();
+        });
+    p.port().setHandler(
+        kCovertDone,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId) -> exec::CoTask<void> {
+            co_await port.dispose();
+            ++s->done;
+            s->cv.notifyAll();
+        });
+
+    co_await p.compute(cfg.warmup);
+    const NodeId target = static_cast<NodeId>(cfg.target % nnodes);
+    if (p.node() == target) {
+        // Absorb the floods. Per-sender FIFO makes each done message
+        // arrive after every flood of its sender, so waiting for all
+        // done markers means no flood is still in flight at job end.
+        while (st->done < nnodes - 1)
+            co_await st->cv.wait();
+        co_return;
+    }
+    while (true) {
+        const std::uint64_t w =
+            p.port().cpu().now() / cfg.windowCycles;
+        if (w >= cfg.windows)
+            break;
+        const Cycle next = (w + 1) * cfg.windowCycles;
+        if (covertBit(cfg.seed, w)) {
+            // Mark: pile messages into the target's NI queue.
+            for (unsigned i = 0; i < cfg.burst; ++i) {
+                if (p.port().cpu().now() >= next)
+                    break;
+                co_await p.port().send(target, kCovertFlood);
+                co_await p.compute(cfg.gap);
+            }
+        }
+        co_await idleUntil(p, next);
+    }
+    co_await p.port().send(target, kCovertDone);
+}
+
+struct CovertRxState
+{
+    CovertRxState(glaze::Process &p, CovertAppConfig cfg)
+        : proc(p), cfg(cfg), cv(p.threads())
+    {}
+
+    glaze::Process &proc;
+    CovertAppConfig cfg;
+    rt::CondVar cv;
+    std::uint64_t replies = 0;
+};
+
+exec::CoTask<void>
+covertRxMain(glaze::Process &p, unsigned nnodes, CovertAppConfig cfg,
+             CovertResult *result)
+{
+    auto st = std::make_shared<CovertRxState>(p, cfg);
+    p.appData = st;
+
+    p.port().setHandler(
+        kProbeReq,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId src) -> exec::CoTask<void> {
+            co_await s->proc.compute(s->cfg.handlerCost);
+            co_await port.dispose();
+            co_await port.send(src, kProbeReply);
+        });
+    p.port().setHandler(
+        kProbeReply,
+        [s = st.get()](core::UdmPort &port,
+                       NodeId) -> exec::CoTask<void> {
+            co_await port.dispose();
+            ++s->replies;
+            s->cv.notifyAll();
+        });
+
+    co_await p.compute(cfg.warmup);
+    const NodeId target = static_cast<NodeId>(cfg.target % nnodes);
+    const NodeId prober = static_cast<NodeId>((target + 1) % nnodes);
+    if (p.node() != prober || nnodes < 2)
+        co_return;
+
+    // Ping-pong echo probes against our own process on the target
+    // node; the tx job's floods share that node's NI queue, so mark
+    // windows show up as inflated round-trip times.
+    std::vector<double> sum(cfg.windows, 0.0);
+    std::vector<unsigned> cnt(cfg.windows, 0);
+    std::uint64_t sent = 0;
+    while (true) {
+        const Cycle start = p.port().cpu().now();
+        const std::uint64_t w = start / cfg.windowCycles;
+        if (w >= cfg.windows)
+            break;
+        co_await p.port().send(target, kProbeReq);
+        ++sent;
+        while (st->replies < sent)
+            co_await st->cv.wait();
+        // Attribute the probe to the window it started in.
+        sum[w] += static_cast<double>(p.port().cpu().now() - start);
+        ++cnt[w];
+        co_await p.compute(cfg.probeGap);
+    }
+
+    if (!result)
+        co_return;
+    // Decode: a window reads as mark when its mean RTT exceeds the
+    // median of all window means (the natural blind threshold).
+    std::vector<double> means;
+    for (unsigned w = 0; w < cfg.windows; ++w)
+        if (cnt[w])
+            means.push_back(sum[w] / cnt[w]);
+    if (means.empty())
+        co_return;
+    std::vector<double> sorted = means;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double threshold = sorted[sorted.size() / 2];
+    CovertResult r;
+    double markSum = 0, spaceSum = 0;
+    unsigned marks = 0, spaces = 0;
+    for (unsigned w = 0; w < cfg.windows; ++w) {
+        if (!cnt[w])
+            continue;
+        const double mean = sum[w] / cnt[w];
+        const bool decoded = mean > threshold;
+        const bool truth = covertBit(cfg.seed, w);
+        ++r.windows;
+        if (decoded == truth)
+            ++r.correct;
+        if (truth) {
+            markSum += mean;
+            ++marks;
+        } else {
+            spaceSum += mean;
+            ++spaces;
+        }
+    }
+    r.markMean = marks ? markSum / marks : 0;
+    r.spaceMean = spaces ? spaceSum / spaces : 0;
+    *result = r;
+}
+
+} // namespace
+
+AppBody
+makeHogApp(unsigned nnodes, HogAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return hogMain(p, nnodes, cfg);
+    };
+}
+
+AppBody
+makeAbuserApp(unsigned nnodes, AbuserAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return abuserMain(p, nnodes, cfg);
+    };
+}
+
+AppBody
+makeSquatterApp(unsigned nnodes, SquatterAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return squatterMain(p, nnodes, cfg);
+    };
+}
+
+AppBody
+makeCovertTxApp(unsigned nnodes, CovertAppConfig cfg)
+{
+    return [nnodes, cfg](glaze::Process &p) {
+        return covertTxMain(p, nnodes, cfg);
+    };
+}
+
+AppBody
+makeCovertRxApp(unsigned nnodes, CovertAppConfig cfg,
+                CovertResult *result)
+{
+    return [nnodes, cfg, result](glaze::Process &p) {
+        return covertRxMain(p, nnodes, cfg, result);
+    };
+}
+
+void
+bindConfig(sim::Binder &b, HogAppConfig &c)
+{
+    b.item("messages", c.messages, "floods per node");
+    b.item("gap", c.gap, "mean inter-send spacing", "cycles");
+    b.item("hold_cycles", c.holdCycles,
+           "handler hold before dispose (keeps the NI slot)",
+           "cycles");
+    b.item("warmup", c.warmup,
+           "idle before the first send (cover one gang rotation)",
+           "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, AbuserAppConfig &c)
+{
+    b.item("messages", c.messages,
+           "sends per peer node, aimed at the abuser (node 0)");
+    b.item("gap", c.gap, "mean peer inter-send spacing", "cycles");
+    b.item("hold_cycles", c.holdCycles,
+           "atomic-section length per squat", "cycles");
+    b.item("drain_gap", c.drainGap,
+           "non-atomic breather between squats", "cycles");
+    b.item("warmup", c.warmup,
+           "idle before the first send (cover one gang rotation)",
+           "cycles");
+}
+
+void
+bindConfig(sim::Binder &b, SquatterAppConfig &c)
+{
+    b.item("rounds", c.rounds, "squat + barrier episodes per node");
+    b.item("hold_cycles", c.holdCycles,
+           "atomic-section length (set past ni.atomicity_timeout)",
+           "cycles");
+    b.item("timer_force", c.timerForce,
+           "arm the timer-force UAC bit instead of atomic sections");
+}
+
+void
+bindConfig(sim::Binder &b, CovertAppConfig &c)
+{
+    b.item("target", c.target,
+           "node whose NI queue carries the signal");
+    b.item("windows", c.windows, "signalling windows per run");
+    b.item("window_cycles", c.windowCycles,
+           "symbol period (set well above the gang quantum)",
+           "cycles");
+    b.item("burst", c.burst, "tx messages per mark window");
+    b.item("gap", c.gap, "tx intra-burst spacing", "cycles");
+    b.item("probe_gap", c.probeGap, "rx inter-probe spacing",
+           "cycles");
+    b.item("handler_cost", c.handlerCost,
+           "receive-handler occupancy (both sides)", "cycles");
+    b.item("warmup", c.warmup,
+           "idle before signalling (cover one gang rotation)",
+           "cycles");
+}
+
+} // namespace fugu::apps

@@ -107,6 +107,16 @@ NetIf::tryDeliver(net::Packet &&pkt)
     return true;
 }
 
+bool
+NetIf::refusalIsSelective(const net::Packet &pkt) const
+{
+    // Inside an injected input-full burst everything is refused
+    // alike; only a backend flow-cap refusal is packet-specific.
+    if (fault_ && fault_->inputBurstActive(id_))
+        return false;
+    return inb_->acceptsOtherFlows(pkt);
+}
+
 // ---------------------------------------------------------------------
 // User-visible registers
 // ---------------------------------------------------------------------

@@ -94,6 +94,7 @@ class NetIf : public net::NetSink
     /// @name NetSink (called by the network fabric)
     /// @{
     bool tryDeliver(net::Packet &&pkt) override;
+    bool refusalIsSelective(const net::Packet &pkt) const override;
     /// @}
 
     /// @name User-visible registers (Figure 3)

@@ -135,6 +135,16 @@ DamqBackend::canAccept(const net::Packet &pkt) const
     return flowCount(pkt.src, pkt.gid) < flowMsgs_;
 }
 
+bool
+DamqBackend::acceptsOtherFlows(const net::Packet &refused) const
+{
+    (void)refused;
+    // If the shared pool itself is exhausted the refusal is global;
+    // only a per-flow-cap refusal leaves room for other tenants.
+    const std::size_t reserved = descLive_ ? 1 : 0;
+    return slots_.size() + reserved < poolMsgs_;
+}
+
 const net::Packet &
 DamqBackend::accept(net::Packet &&pkt)
 {

@@ -146,6 +146,23 @@ class NiBufferBackend
      */
     virtual bool outputCoupled() const { return false; }
 
+    /**
+     * After canAccept refused @p refused: could a packet from a
+     * *different* (src,gid) flow still get in right now? False for
+     * queue-wide refusals (a full ring refuses everything, so there
+     * is no point offering anything else); true only when the refusal
+     * is flow-local — a DAMQ flow at its per-(src,GID) cap while the
+     * shared pool has room. The network uses this to let victims'
+     * arrivals bypass a hog's parked packet at the arrival-queue head
+     * instead of wedging the whole destination behind it.
+     */
+    virtual bool
+    acceptsOtherFlows(const net::Packet &refused) const
+    {
+        (void)refused;
+        return false;
+    }
+
     /// @}
     /// @name Cost hooks
     /// @{
@@ -228,6 +245,7 @@ class DamqBackend : public NiBufferBackend
 
     void onDescriptor(bool live) override { descLive_ = live; }
     bool outputCoupled() const override { return true; }
+    bool acceptsOtherFlows(const net::Packet &refused) const override;
 
     Cycle fastExtra(const CostModel &c) const override;
 

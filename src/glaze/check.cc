@@ -24,6 +24,13 @@ bindConfig(sim::Binder &b, CheckConfig &c)
     b.item("sweep_every", c.sweepEvery,
            "frame-conservation sweep period (0 = final check only)",
            "deliveries");
+    b.item("service_gap_limit", c.serviceGapLimit,
+           "max unserviced wait per GID before a starvation violation "
+           "(0 = watermark only)",
+           "cycles");
+    b.item("frame_share_limit", c.frameShareLimit,
+           "max fraction of one node's frames a single GID may hold "
+           "(0 = watermark only)");
 }
 
 InvariantChecker::Stats::Stats(StatGroup *parent)
@@ -43,7 +50,15 @@ InvariantChecker::Stats::Stats(StatGroup *parent)
       accountingViolations(&group, "accounting_violations",
                            "trace Divert counts vs kernel bufferInserts"),
       unknownDeliveries(&group, "unknown_deliveries",
-                        "deliveries of packets never seen injected")
+                        "deliveries of packets never seen injected"),
+      starvationViolations(&group, "starvation_violations",
+                           "per-GID service gaps past the limit"),
+      isolationViolations(&group, "isolation_violations",
+                          "per-GID frame-pool shares past the limit"),
+      maxServiceGap(&group, "max_service_gap",
+                    "watermark: longest pending-traffic service gap"),
+      maxFrameShare(&group, "max_frame_share",
+                    "watermark: largest single-GID frame-pool share")
 {
 }
 
@@ -97,6 +112,12 @@ InvariantChecker::onInject(const net::Packet &pkt)
     pending_.emplace(pkt.seq,
                      PendingMsg{cfg_.content ? checksum(pkt) : 0,
                                 sendIdx_[key]++});
+    // Starvation clock: the GID now has traffic pending; if it had
+    // none before, gaps measure from this inject, so idle tenants
+    // accrue nothing.
+    GidState &g = gids_[pkt.gid];
+    if (g.pending++ == 0)
+        g.pendingSince = m_.checkTime();
 }
 
 void
@@ -116,6 +137,9 @@ InvariantChecker::onDeliver(const net::Packet &pkt, NodeId node,
         report(stats.gidViolations,
                detail::concat("packet for node ", pkt.dst,
                          " consumed on node ", node));
+
+    noteService(gids_[pkt.gid], pkt.gid, m_.checkTime(),
+                buffered_path);
 
     auto it = pending_.find(pkt.seq);
     if (it == pending_.end()) {
@@ -184,6 +208,10 @@ InvariantChecker::onDrop(const net::Packet &pkt, NodeId node)
     if (it->second.orderIdx >= expect)
         expect = it->second.orderIdx + 1;
     pending_.erase(it);
+    // The dropped message no longer waits for service.
+    GidState &g = gids_[pkt.gid];
+    if (g.pending && --g.pending == 0)
+        g.pendingSince = 0;
 }
 
 void
@@ -223,15 +251,62 @@ InvariantChecker::onDispatch(Process &p, bool buffered_path)
 }
 
 void
+InvariantChecker::noteService(GidState &g, Gid gid, Cycle now,
+                              bool buffered_path)
+{
+    // Starvation watermark: how long this GID's oldest pending
+    // message had been waiting when service finally arrived. Measured
+    // from the later of the last delivery and the first queued
+    // inject; skipped entirely when no inject was tracked (a
+    // delivery the injector never saw is the unknown-delivery check's
+    // business, not a service gap).
+    if (g.pending) {
+        const Cycle since = g.lastService > g.pendingSince
+                                ? g.lastService
+                                : g.pendingSince;
+        const Cycle gap = now > since ? now - since : 0;
+        if (gap > g.iso.serviceGapMax)
+            g.iso.serviceGapMax = gap;
+        if (static_cast<double>(gap) > stats.maxServiceGap.value())
+            stats.maxServiceGap.set(static_cast<double>(gap));
+        if (cfg_.serviceGapLimit && gap > cfg_.serviceGapLimit)
+            report(stats.starvationViolations,
+                   detail::concat("gid ", gid, " went ", gap,
+                             " cycles unserviced with traffic ",
+                             "pending (limit ", cfg_.serviceGapLimit,
+                             ")"));
+        if (--g.pending == 0)
+            g.pendingSince = 0;
+    }
+    g.lastService = now;
+    // Victim-side divert attribution: which path served this tenant.
+    if (buffered_path)
+        ++g.iso.buffered;
+    else
+        ++g.iso.direct;
+}
+
+InvariantChecker::GidIsolation
+InvariantChecker::isolation(Gid gid) const
+{
+    auto lock = lockIfParallel();
+    const auto it = gids_.find(gid);
+    return it == gids_.end() ? GidIsolation{} : it->second.iso;
+}
+
+void
 InvariantChecker::sweepConservation()
 {
     for (NodeId n = 0; n < m_.nodeCount(); ++n) {
         unsigned expected = m_.pinnedFrames(n);
+        std::unordered_map<Gid, unsigned> held;
         for (const auto &proc : m_.processes) {
             if (proc->node() != n)
                 continue;
-            expected += proc->vbuf().pagesResident();
-            expected += proc->as().mappedPages();
+            const unsigned frames = proc->vbuf().pagesResident() +
+                                    proc->as().mappedPages();
+            expected += frames;
+            held[proc->gid()] += frames;
         }
         const unsigned used = m_.node(n).frames.used();
         if (used != expected)
@@ -240,6 +315,31 @@ InvariantChecker::sweepConservation()
                              " frames but ", expected,
                              " are accounted for (pinned + vbuf ",
                              "resident + heap mapped)"));
+
+        // Cross-tenant occupancy, fed by the same accounting the
+        // conservation check just verified: how much of this node's
+        // pool each GID pins right now.
+        const unsigned total = m_.node(n).frames.total();
+        if (total == 0)
+            continue;
+        for (const auto &[gid, frames] : held) {
+            GidState &g = gids_[gid];
+            if (frames > g.iso.framePeak)
+                g.iso.framePeak = frames;
+            const double share =
+                static_cast<double>(frames) / total;
+            if (share > g.iso.frameShareMax)
+                g.iso.frameShareMax = share;
+            if (share > stats.maxFrameShare.value())
+                stats.maxFrameShare.set(share);
+            if (cfg_.frameShareLimit > 0.0 &&
+                share > cfg_.frameShareLimit)
+                report(stats.isolationViolations,
+                       detail::concat("gid ", gid, " holds ", frames,
+                                 " of ", total, " frames on node ", n,
+                                 " (share limit ",
+                                 cfg_.frameShareLimit, ")"));
+        }
     }
 }
 
@@ -285,7 +385,9 @@ InvariantChecker::totalViolations() const
            stats.atomicityViolations.value() +
            stats.conservationViolations.value() +
            stats.accountingViolations.value() +
-           stats.unknownDeliveries.value();
+           stats.unknownDeliveries.value() +
+           stats.starvationViolations.value() +
+           stats.isolationViolations.value();
 }
 
 } // namespace fugu::glaze

@@ -68,6 +68,22 @@ struct CheckConfig
     /** Run a frame-conservation sweep every N deliveries (0 = only
      *  at finalChecks). */
     std::uint64_t sweepEvery = 64;
+
+    /**
+     * Starvation: max cycles a GID with traffic pending may go
+     * unserviced before it counts as a violation. 0 records the
+     * per-GID service-gap watermarks without judging them — gang
+     * descheduling legitimately opens gaps of a quantum or more, so
+     * any limit must be set per scenario, above the quantum.
+     */
+    Cycle serviceGapLimit = 0;
+
+    /**
+     * Isolation: max fraction of one node's frame pool a single GID
+     * may hold (vbuf-resident + heap-mapped pages). 0 records the
+     * occupancy watermarks without judging them.
+     */
+    double frameShareLimit = 0.0;
 };
 
 /** Register CheckConfig's fields on the scenario/config tree. */
@@ -111,6 +127,26 @@ class InvariantChecker final : public net::PacketWatcher
     /** Total violations of any class seen so far. */
     double totalViolations() const;
 
+    /**
+     * Per-GID isolation metrics, accumulated alongside the
+     * transparency checks (adversarial-neighbor reporting).
+     */
+    struct GidIsolation
+    {
+        /** Watermark: longest wait of pending traffic for service. */
+        Cycle serviceGapMax = 0;
+        /** Victim-side divert attribution: deliveries per path. */
+        std::uint64_t direct = 0;
+        std::uint64_t buffered = 0;
+        /** Watermark: most frames this GID held on any one node. */
+        unsigned framePeak = 0;
+        /** Watermark: largest fraction of one node's frame pool. */
+        double frameShareMax = 0.0;
+    };
+
+    /** Isolation metrics of @p gid (zeros if never seen). */
+    GidIsolation isolation(Gid gid) const;
+
     struct Stats
     {
         explicit Stats(StatGroup *parent);
@@ -123,6 +159,11 @@ class InvariantChecker final : public net::PacketWatcher
         Scalar conservationViolations;
         Scalar accountingViolations;
         Scalar unknownDeliveries;
+        Scalar starvationViolations;
+        Scalar isolationViolations;
+        /** Machine-wide watermarks (max over every GID). */
+        Scalar maxServiceGap;
+        Scalar maxFrameShare;
     };
 
     Stats stats;
@@ -155,6 +196,18 @@ class InvariantChecker final : public net::PacketWatcher
         std::uint64_t orderIdx; ///< position within its stream
     };
 
+    /** Live per-GID starvation/occupancy bookkeeping. */
+    struct GidState
+    {
+        GidIsolation iso;
+        Cycle lastService = 0;   ///< cycle of the last delivery
+        Cycle pendingSince = 0;  ///< earliest undelivered inject
+        std::uint64_t pending = 0;
+    };
+
+    void noteService(GidState &g, Gid gid, Cycle now,
+                     bool buffered_path);
+
     Machine &m_;
     CheckConfig cfg_;
 
@@ -164,6 +217,9 @@ class InvariantChecker final : public net::PacketWatcher
     /** Next order index to assign / expect, per stream. */
     std::unordered_map<std::uint64_t, std::uint64_t> sendIdx_;
     std::unordered_map<std::uint64_t, std::uint64_t> consumeIdx_;
+
+    /** Isolation/starvation metrics per application GID. */
+    std::unordered_map<Gid, GidState> gids_;
 
     std::uint64_t deliveries_ = 0;
     bool parallel_ = false;

@@ -249,6 +249,16 @@ Kernel::onMessageAvailable()
 
     Process *p = current_;
     fugu_assert(p, "message-available with no current process");
+    if (!p->mainStarted && !p->buffered) {
+        // The arrival raced the main's startup prologue on the
+        // process's first-ever quantum (a skewed gang start lets a
+        // peer's send land here first): there is no handler table to
+        // dispatch into yet. Divert to the software buffer — the
+        // drain waits for startup before delivering.
+        enterBuffered(p, (ni().uac() & kUacInterruptDisable) != 0,
+                      trace::DivertReason::QuantumCarry);
+        co_return;
+    }
     if (!ni().messageAvailable()) {
         // The pending message can vanish while the stub spends its
         // fixed entry cost: anything that pushes the process into
@@ -449,8 +459,15 @@ Kernel::onAtomicityTimeout()
         co_return;
     // Revoke the interrupt-disable privilege: switch from physical to
     // virtual atomicity. The pending messages divert to the software
-    // buffer via the mismatch path.
-    enterBuffered(p, /*from_atomic=*/true,
+    // buffer via the mismatch path. Whether an atomic section is still
+    // open must be read from the live UAC, not assumed from the
+    // interrupt's cause: the timeout can dispatch after the section
+    // that armed it closed (it stays pending behind other kernel
+    // handlers), or with no section open at all when a squatter forces
+    // the timer via kUacTimerForce. Committing from_atomic in those
+    // states would raise the atomicity gate with no endAtomic trap
+    // ever coming to clear it, wedging the drain permanently.
+    enterBuffered(p, (ni().uac() & kUacInterruptDisable) != 0,
                   trace::DivertReason::AtomTimeout);
 }
 
@@ -511,6 +528,13 @@ Kernel::ensureDrain(Process *p)
     if (!p->buffered || p->atomicGate)
         return;
     if (p->vbuf().empty())
+        return;
+    if (!p->mainStarted)
+        // Messages can buffer for a process that has never been
+        // scheduled (skewed gang start). The drain runs at handler
+        // priority and would outrank the main forever, upcalling into
+        // a handler table the application never got to fill; the
+        // main's first slice re-pokes us once startup has run.
         return;
     if (p->drainThread && !p->drainThread->finished())
         return;

@@ -243,6 +243,13 @@ namespace
 exec::Task
 jobMain(Process *p, Job *job, AppBody body)
 {
+    // Handler registrations in the body's synchronous prologue are
+    // visible to the drain the moment this slice yields — so a drain
+    // deferred because we had not started yet can be spawned now: at
+    // handler priority it first runs at our first suspension point,
+    // after the prologue.
+    p->mainStarted = true;
+    p->kernel()->ensureDrain(p);
     co_await body(*p);
     job->nodeDone(p->node());
 }

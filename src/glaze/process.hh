@@ -96,6 +96,17 @@ class Process : public core::PortObserver
     bool suspended = false;
 
     /**
+     * The main coroutine's first slice has run. Until then the
+     * process cannot have registered any message handlers, so the
+     * buffered-message drain must not upcall into it: messages can
+     * buffer for a process that has never been scheduled (a skewed
+     * gang start), and startup must win over the drain on the first
+     * quantum — as on a real system, where a port only drains into a
+     * process that has completed its startup.
+     */
+    bool mainStarted = false;
+
+    /**
      * Why this process last entered buffered mode (trace attribution;
      * reset to None when the process returns to direct delivery).
      */

@@ -92,6 +92,71 @@ runJob(MachineConfig mcfg, const AppFactory &app, bool with_null,
     return out;
 }
 
+TenantRunStats
+runTenants(MachineConfig mcfg,
+           std::vector<std::pair<std::string, AppBody>> jobs,
+           const GangConfig &gcfg, Cycle max_cycles)
+{
+    fugu_assert(!jobs.empty());
+    // Per-tenant latency attribution needs the trace's per-GID
+    // extract records; unbounded retention so no inject is lost to
+    // ring wrap-around mid-run.
+    mcfg.trace.enabled = true;
+    mcfg.trace.maxEvents = 0;
+    Machine m(mcfg);
+    std::vector<Job *> handles;
+    handles.reserve(jobs.size());
+    for (auto &[name, body] : jobs)
+        handles.push_back(m.addJob(name, std::move(body)));
+    m.startGang(gcfg);
+
+    TenantRunStats out;
+    out.completed = m.runUntilDone(handles[0], max_cycles);
+    out.violations = m.checker()->totalViolations();
+    out.holBypasses = m.net.stats.headOfLineBypasses.value();
+    out.events = m.eventsProcessed();
+    for (const auto &f : m.allFaults()) {
+        const auto &fs = f->stats;
+        out.faultEvents += fs.jitteredPackets.value() +
+                           fs.inputBursts.value() +
+                           fs.outputBursts.value() +
+                           fs.frameDenies.value() +
+                           fs.divertStorms.value() +
+                           fs.timeoutStorms.value() +
+                           fs.handlerFaults.value();
+    }
+
+    const trace::TraceBuffer merged = m.mergedTrace();
+    std::vector<trace::TraceEvent> events;
+    events.reserve(merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        events.push_back(merged[i]);
+    const trace::Summary sum = trace::summarize(events);
+
+    for (Job *job : handles) {
+        TenantStats t;
+        t.completed = job->done();
+        if (t.completed)
+            t.runtime = job->endCycle - job->startCycle;
+        for (auto *proc : job->procs) {
+            t.sent +=
+                static_cast<std::uint64_t>(proc->stats.sent.value());
+            t.direct += proc->stats.directDelivered.value();
+            t.buffered += proc->stats.bufferedDelivered.value();
+            t.maxVbufPages =
+                std::max(t.maxVbufPages,
+                         static_cast<unsigned>(
+                             proc->vbuf().stats.peakPages.value()));
+        }
+        for (const auto &g : sum.byGid)
+            if (g.gid == job->gid())
+                t.trace = g;
+        t.iso = m.checker()->isolation(job->gid());
+        out.tenants.push_back(std::move(t));
+    }
+    return out;
+}
+
 unsigned
 workerCount()
 {
@@ -238,6 +303,22 @@ Workloads::bind(sim::Binder &b)
         auto s2 = b.push("synth");
         apps::bindConfig(b, synth);
     }
+    {
+        auto s2 = b.push("hog");
+        apps::bindConfig(b, hog);
+    }
+    {
+        auto s2 = b.push("abuser");
+        apps::bindConfig(b, abuser);
+    }
+    {
+        auto s2 = b.push("squatter");
+        apps::bindConfig(b, squatter);
+    }
+    {
+        auto s2 = b.push("covert");
+        apps::bindConfig(b, covert);
+    }
 }
 
 void
@@ -308,6 +389,37 @@ Workloads::factory(const std::string &name) const
         return [cfg = synth](unsigned n, std::uint64_t seed) mutable {
             cfg.seed = seed;
             return makeSynthApp(n, cfg);
+        };
+    }
+    if (name == "hog") {
+        return [cfg = hog](unsigned n, std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeHogApp(n, cfg);
+        };
+    }
+    if (name == "abuser") {
+        return [cfg = abuser](unsigned n, std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeAbuserApp(n, cfg);
+        };
+    }
+    if (name == "squatter") {
+        return [cfg = squatter](unsigned n,
+                                std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeSquatterApp(n, cfg);
+        };
+    }
+    if (name == "covert_tx") {
+        return [cfg = covert](unsigned n, std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeCovertTxApp(n, cfg);
+        };
+    }
+    if (name == "covert_rx") {
+        return [cfg = covert](unsigned n, std::uint64_t seed) mutable {
+            cfg.seed = seed;
+            return makeCovertRxApp(n, cfg, nullptr);
         };
     }
     fugu_fatal("unknown workload '", name, "'");

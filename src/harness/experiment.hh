@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "apps/adversary.hh"
 #include "apps/workloads.hh"
 #include "glaze/machine.hh"
+#include "trace/export.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -105,6 +107,47 @@ RunStats runTrials(const glaze::MachineConfig &mcfg,
                    const std::string &trace_path = "");
 
 /**
+ * Per-tenant outcome of a multi-job adversarial run (runTenants).
+ * Latency percentiles come from the merged trace's per-GID matched
+ * inject->extract pairs, so one tenant's numbers are never polluted
+ * by its neighbours' traffic the way machine-wide histograms are.
+ */
+struct TenantStats
+{
+    bool completed = false; ///< the tenant's job finished in time
+    Cycle runtime = 0;      ///< job start to completion (0 if not)
+    std::uint64_t sent = 0;
+    double direct = 0;
+    double buffered = 0;
+    unsigned maxVbufPages = 0;
+    trace::Summary::GidStats trace;            ///< per-path latency
+    glaze::InvariantChecker::GidIsolation iso; ///< checker watermarks
+};
+
+/** Outcome of one adversarial pairing (runTenants). */
+struct TenantRunStats
+{
+    bool completed = false; ///< the victim (jobs[0]) finished
+    double violations = 0;  ///< invariant-checker total
+    double holBypasses = 0; ///< DAMQ head-of-line bypasses taken
+    double faultEvents = 0;
+    std::uint64_t events = 0; ///< simulator events processed
+    std::vector<TenantStats> tenants; ///< in job order, victim first
+};
+
+/**
+ * Gang-schedule several tenants (victim first, then adversaries) on
+ * one machine and run until the victim's job completes; adversaries
+ * may still be mid-flight. Tracing is forced on: per-tenant latency
+ * is attributed through the merged trace's per-GID breakdown.
+ */
+TenantRunStats
+runTenants(glaze::MachineConfig mcfg,
+           std::vector<std::pair<std::string, glaze::AppBody>> jobs,
+           const glaze::GangConfig &gcfg,
+           Cycle max_cycles = 100000000000ull);
+
+/**
  * Worker threads used by runMany/runTrials: the FUGU_THREADS
  * environment variable if set, else the hardware concurrency.
  * FUGU_THREADS=1 forces fully serial execution.
@@ -155,6 +198,18 @@ struct Workloads
     apps::BarrierAppConfig barrier;
     apps::EnumAppConfig enumerate;
     apps::SynthAppConfig synth;
+
+    /**
+     * Adversarial-neighbor tenants (bench_isolation / bench_stress).
+     * Nameable through factory() — "hog", "abuser", "squatter",
+     * "covert_tx", "covert_rx" — but deliberately absent from
+     * names(): the Table 6 sweeps iterate that list and adversaries
+     * are not paper workloads.
+     */
+    apps::HogAppConfig hog;
+    apps::AbuserAppConfig abuser;
+    apps::SquatterAppConfig squatter;
+    apps::CovertAppConfig covert;
 
     /** Register workloads.paper_scale and the apps.* sections. */
     void bind(sim::Binder &b);

@@ -31,7 +31,9 @@ Network::Stats::Stats(StatGroup *parent, const std::string &name)
       deliveryLatency(&group, "latency",
                       "inject-to-sink-accept latency (cycles)"),
       headOfLineBlocks(&group, "hol_blocks",
-                       "arrivals stalled by a full input queue")
+                       "arrivals stalled by a full input queue"),
+      headOfLineBypasses(&group, "hol_bypasses",
+                         "arrivals delivered past a flow-blocked head")
 {
 }
 
@@ -40,7 +42,7 @@ Network::Network(EventQueue &eq, NetworkConfig cfg, std::string name,
     : stats(stat_parent, name), eq_(eq), cfg_(cfg),
       name_(std::move(name)), arriveName_(name_ + "-arrive"),
       chans_(1), laneSeq_(1, 0), outbox_(1), releases_(1),
-      weaveCount_(1, 0), scratch_(1),
+      weaveCount_(1, 0), scratch_(1), bypassScratch_(1),
       laneEq_{&eq_}, laneTracer_(1, nullptr), laneFault_(1, nullptr)
 {
     fugu_assert(cfg_.meshX > 0 && cfg_.meshY > 0, "empty mesh");
@@ -153,6 +155,7 @@ Network::setParallel(const sim::ShardMap *shards,
     releases_.resize(lanes);
     weaveCount_.assign(lanes, 0);
     scratch_.assign(lanes, LaneScratch{});
+    bypassScratch_.resize(lanes);
     laneTracer_.resize(lanes, nullptr);
     laneFault_.resize(lanes, nullptr);
     parallel_ = lanes > 1;
@@ -225,40 +228,101 @@ Network::drain(NodeId dst)
                 ++scratch_[dlane].holBlocks;
             else
                 ++stats.headOfLineBlocks;
-            return; // retried via onSinkSpaceFreed
+            // A queue-wide refusal (full ring, input-full burst)
+            // blocks everything equally: park until re-poked. A
+            // flow-local refusal (a DAMQ flow at its per-(src,GID)
+            // cap) must not let one tenant's parked packet starve
+            // every other tenant queued behind it — offer the rest.
+            if (sinks_[dst]->refusalIsSelective(q.front()))
+                bypassBlockedHead(dst, dlane);
+            return; // the head itself retries via onSinkSpaceFreed
         }
         q.pop_front();
-        const double lat =
-            static_cast<double>(laneEq_[dlane]->now() - injected);
-        if (parallel_) {
-            LaneScratch &sc = scratch_[dlane];
-            ++sc.messages;
-            sc.words += words;
-            if (sc.latCount == 0) {
-                sc.latMin = lat;
-                sc.latMax = lat;
-            } else {
-                sc.latMin = std::min(sc.latMin, lat);
-                sc.latMax = std::max(sc.latMax, lat);
+        accountDelivery(dlane, src, dst, words, injected);
+    }
+}
+
+std::size_t
+Network::bypassBlockedHead(NodeId dst, unsigned dlane)
+{
+    auto &q = arrived_[dst];
+    std::vector<std::uint64_t> &blocked = bypassScratch_[dlane];
+    blocked.clear();
+    const auto flowKey = [](const Packet &p) {
+        return (static_cast<std::uint64_t>(p.src) << 32) | p.gid;
+    };
+    blocked.push_back(flowKey(q.front()));
+    std::size_t delivered = 0;
+    std::size_t i = 1;
+    while (i < q.size()) {
+        Packet &cand = q[i];
+        const std::uint64_t k = flowKey(cand);
+        bool skip = false;
+        for (std::uint64_t b : blocked)
+            if (b == k) {
+                skip = true;
+                break;
             }
-            ++sc.latCount;
-            sc.latSum += lat;
-        } else {
-            ++stats.messages;
-            stats.words += words;
-            stats.deliveryLatency.sample(lat);
+        if (skip) {
+            // A refused packet of this flow sits ahead: delivering
+            // this one would reorder the stream.
+            ++i;
+            continue;
         }
-        const unsigned slane = laneOf(src);
-        Channel *ch = chans_[slane].find(key(src, dst));
-        fugu_assert(ch);
-        if (!parallel_ || slane == dlane) {
-            releaseChannel(*ch, words);
-        } else {
-            // The channel (and any blocked sender waiting on it)
-            // belongs to the source's lane; defer to the weave.
-            releases_[dlane].push_back(
-                Release{slane, key(src, dst), words});
+        const unsigned words = cand.size();
+        const NodeId src = cand.src;
+        const Cycle injected = cand.injectedAt;
+        if (!sinks_[dst]->tryDeliver(std::move(cand))) {
+            if (!sinks_[dst]->refusalIsSelective(q[i]))
+                break; // refusal went queue-wide; stop scanning
+            blocked.push_back(flowKey(q[i]));
+            ++i;
+            continue;
         }
+        q.remove_at(i); // earlier (blocked) entries shift back one
+        ++delivered;
+        if (parallel_)
+            ++scratch_[dlane].holBypasses;
+        else
+            ++stats.headOfLineBypasses;
+        accountDelivery(dlane, src, dst, words, injected);
+    }
+    return delivered;
+}
+
+void
+Network::accountDelivery(unsigned dlane, NodeId src, NodeId dst,
+                         unsigned words, Cycle injected)
+{
+    const double lat =
+        static_cast<double>(laneEq_[dlane]->now() - injected);
+    if (parallel_) {
+        LaneScratch &sc = scratch_[dlane];
+        ++sc.messages;
+        sc.words += words;
+        if (sc.latCount == 0) {
+            sc.latMin = lat;
+            sc.latMax = lat;
+        } else {
+            sc.latMin = std::min(sc.latMin, lat);
+            sc.latMax = std::max(sc.latMax, lat);
+        }
+        ++sc.latCount;
+        sc.latSum += lat;
+    } else {
+        ++stats.messages;
+        stats.words += words;
+        stats.deliveryLatency.sample(lat);
+    }
+    const unsigned slane = laneOf(src);
+    Channel *ch = chans_[slane].find(key(src, dst));
+    fugu_assert(ch);
+    if (!parallel_ || slane == dlane) {
+        releaseChannel(*ch, words);
+    } else {
+        // The channel (and any blocked sender waiting on it)
+        // belongs to the source's lane; defer to the weave.
+        releases_[dlane].push_back(Release{slane, key(src, dst), words});
     }
 }
 
@@ -320,6 +384,7 @@ Network::mergeLaneStats()
         stats.messages += sc.messages;
         stats.words += sc.words;
         stats.headOfLineBlocks += sc.holBlocks;
+        stats.headOfLineBypasses += sc.holBypasses;
         stats.deliveryLatency.merge(sc.latCount, sc.latSum, sc.latMin,
                                     sc.latMax);
         sc = LaneScratch{};

@@ -55,6 +55,22 @@ class NetSink
      *         retry when onSinkSpaceFreed is called.
      */
     virtual bool tryDeliver(Packet &&pkt) = 0;
+
+    /**
+     * After tryDeliver refused @p pkt: was the refusal specific to
+     * that packet's (src,gid) flow, leaving room for other flows?
+     * Queue-wide refusals (a full static ring, an injected input-full
+     * burst) return false — re-offering anything else is pointless.
+     * When true, the network may deliver later arrivals from *other*
+     * flows past the refused head (per-flow FIFO is preserved; only
+     * cross-flow order, which the fabric never promised, changes).
+     */
+    virtual bool
+    refusalIsSelective(const Packet &pkt) const
+    {
+        (void)pkt;
+        return false;
+    }
 };
 
 struct NetworkConfig
@@ -200,6 +216,7 @@ class Network
         Scalar words;
         Distribution deliveryLatency;
         Scalar headOfLineBlocks;
+        Scalar headOfLineBypasses;
     };
 
     Stats stats;
@@ -312,6 +329,7 @@ class Network
         double messages = 0;
         double words = 0;
         double holBlocks = 0;
+        double holBypasses = 0;
         std::uint64_t latCount = 0;
         double latSum = 0;
         double latMin = 0;
@@ -332,6 +350,18 @@ class Network
     }
 
     void drain(NodeId dst);
+
+    /**
+     * Head-of-line bypass: the sink refused the queue head for a
+     * flow-local reason (per-flow cap), so offer later arrivals from
+     * other flows, preserving per-(src,gid) FIFO. Returns the number
+     * delivered.
+     */
+    std::size_t bypassBlockedHead(NodeId dst, unsigned dlane);
+
+    void accountDelivery(unsigned dlane, NodeId src, NodeId dst,
+                         unsigned words, Cycle injected);
+
     void releaseChannel(Channel &ch, unsigned words);
 
     EventQueue &eq_;
@@ -352,6 +382,10 @@ class Network
     std::vector<std::vector<Release>> releases_;
     std::vector<std::size_t> weaveCount_; // scratch for weave()
     std::vector<LaneScratch> scratch_;
+    // Per-lane blocked-flow keys for the head-of-line bypass scan
+    // (reused so the scan allocates only up to each lane's high-water
+    // mark; lanes scan concurrently, so one buffer each).
+    std::vector<std::vector<std::uint64_t>> bypassScratch_;
     std::vector<EventQueue *> laneEq_;
     std::vector<trace::Recorder *> laneTracer_;
     std::vector<sim::FaultInjector *> laneFault_;

@@ -110,6 +110,18 @@ class FaultInjector
     /** Is @p node inside an output-full burst right now? */
     bool outputDenied(NodeId node) const;
 
+    /**
+     * Is @p node inside an input-full burst right now? Unlike
+     * inputDenied this draws no randomness — it is a pure query for
+     * callers (the head-of-line bypass) that must not perturb the
+     * injector's stream.
+     */
+    bool
+    inputBurstActive(NodeId node) const
+    {
+        return eq_.now() < inputDenyUntil_[node];
+    }
+
     /** Should this frame allocation feign pool exhaustion? */
     bool frameDenied();
 

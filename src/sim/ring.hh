@@ -79,6 +79,19 @@ class RingDeque
             pop_front();
     }
 
+    /**
+     * Remove the element at index @p i (from the front), preserving
+     * the relative order of the rest: elements before it shift back
+     * one slot and the vacated front is popped. O(i) moves.
+     */
+    void
+    remove_at(std::size_t i)
+    {
+        for (std::size_t k = i; k > 0; --k)
+            (*this)[k] = std::move((*this)[k - 1]);
+        pop_front();
+    }
+
     /** Forward iteration, front to back (for range-for scans). */
     template <typename RD, typename V>
     class Iter

@@ -301,6 +301,8 @@ summarize(const std::vector<TraceEvent> &events)
         std::uint64_t fast = 0;
         std::uint64_t buffered = 0;
         std::vector<Cycle> lat;
+        std::vector<Cycle> latFast;
+        std::vector<Cycle> latBuf;
     };
     std::map<Gid, GidAccum> byGid;
     struct ChanState
@@ -351,6 +353,8 @@ summarize(const std::vector<TraceEvent> &events)
             const Cycle lat = e.ts - it->second;
             (t == Type::DirectExtract ? fast : buffered).push_back(lat);
             g.lat.push_back(lat);
+            (t == Type::DirectExtract ? g.latFast : g.latBuf)
+                .push_back(lat);
             injectTs.erase(it);
             break;
           }
@@ -367,6 +371,8 @@ summarize(const std::vector<TraceEvent> &events)
         gs.fast = g.fast;
         gs.buffered = g.buffered;
         gs.latency = percentiles(g.lat);
+        gs.fastLatency = percentiles(g.latFast);
+        gs.bufferedLatency = percentiles(g.latBuf);
         s.byGid.push_back(gs);
     }
     for (const auto &[key, c] : chans)
@@ -448,6 +454,10 @@ printSummary(std::ostream &os, const Summary &s)
                    << " p95=" << g.latency.p95
                    << " p99=" << g.latency.p99
                    << " max=" << g.latency.max;
+            if (g.fastLatency.count)
+                os << " fast-p99=" << g.fastLatency.p99;
+            if (g.bufferedLatency.count)
+                os << " buf-p99=" << g.bufferedLatency.p99;
             os << "\n";
         }
     }

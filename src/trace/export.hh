@@ -102,7 +102,12 @@ struct Summary
         Gid gid = 0;
         std::uint64_t fast = 0;     ///< DirectExtract count
         std::uint64_t buffered = 0; ///< BufExtract count
-        LatencyStats latency;
+        LatencyStats latency;       ///< both paths combined
+        /** Per-path split of the same matched pairs (isolation
+         *  reporting: a victim's fast- and buffered-path inflation
+         *  under an adversarial neighbour differ). */
+        LatencyStats fastLatency;
+        LatencyStats bufferedLatency;
 
         double
         bufferedPct() const

@@ -180,6 +180,112 @@ TEST(DamqTest, PerFlowCapBoundsOneTenant)
     EXPECT_TRUE(b.canAccept(mkPkt(0, 4, 4)));
 }
 
+TEST(DamqTest, RefusalSelectivityTracksPoolVsFlowCause)
+{
+    // A flow-cap refusal leaves room for other tenants; a pool-wide
+    // refusal (including the descriptor's reserved slot) does not.
+    // The network's head-of-line bypass keys off this distinction.
+    DamqBackend b(/*pool_msgs=*/4, /*flow_msgs=*/2);
+    b.accept(mkPkt(0, 9, 1));
+    b.accept(mkPkt(0, 9, 2));
+    ASSERT_FALSE(b.canAccept(mkPkt(0, 9, 3))); // flow capped
+    EXPECT_TRUE(b.acceptsOtherFlows(mkPkt(0, 9, 3)));
+    b.accept(mkPkt(1, 9, 3));
+    b.accept(mkPkt(2, 9, 4)); // pool now full
+    EXPECT_FALSE(b.acceptsOtherFlows(mkPkt(0, 9, 5)));
+    // Extraction reopens the pool: selectivity returns with it.
+    b.extractAt(b.oldest());
+    EXPECT_TRUE(b.acceptsOtherFlows(mkPkt(0, 9, 5)));
+    // A live descriptor eats the last slot: pool-wide again.
+    b.onDescriptor(true);
+    EXPECT_FALSE(b.acceptsOtherFlows(mkPkt(0, 9, 5)));
+    // The FIFO backends never refuse selectively.
+    auto fifo = mkBackend(NiBackendKind::StaticFifo, 2, 2);
+    fifo->accept(mkPkt(0, 9, 1));
+    fifo->accept(mkPkt(0, 9, 2));
+    EXPECT_FALSE(fifo->canAccept(mkPkt(1, 4, 3)));
+    EXPECT_FALSE(fifo->acceptsOtherFlows(mkPkt(1, 4, 3)));
+}
+
+/** NetSink wrapping a real DamqBackend (no NetIf machinery). */
+struct DamqSink : net::NetSink
+{
+    DamqSink(unsigned pool, unsigned flow) : b(pool, flow) {}
+
+    bool
+    tryDeliver(net::Packet &&pkt) override
+    {
+        if (!b.canAccept(pkt))
+            return false;
+        b.accept(std::move(pkt));
+        return true;
+    }
+
+    bool
+    refusalIsSelective(const net::Packet &pkt) const override
+    {
+        return b.acceptsOtherFlows(pkt);
+    }
+
+    DamqBackend b;
+};
+
+TEST(DamqNetworkTest, VictimBypassesHogParkedAtArrivalQueueHead)
+{
+    // The descriptor-death re-poke audit's regression: a hog holding
+    // its per-(src,GID) cap parks its next packet at the head of the
+    // per-destination arrival queue. Pre-fix, Network::drain returned
+    // at the first refusal, so every victim packet queued behind the
+    // hog's was starved even though the DAMQ pool had room — and the
+    // re-poke on descriptor death retried only the same blocked head,
+    // wedging the destination for as long as the hog kept its flow
+    // pinned. The fix delivers other flows past the blocked head.
+    EventQueue eq;
+    StatGroup stats("test");
+    net::NetworkConfig ncfg;
+    net::Network net(eq, ncfg, "net", &stats);
+    DamqSink sink(/*pool=*/8, /*flow=*/2);
+    net.attach(1, &sink);
+    // Senders only inject; they need no sink of their own, but the
+    // fabric requires attachment for destinations only.
+    const auto send = [&](NodeId src, Gid gid, Word tag) {
+        net.send(mkPkt(src, gid, tag));
+    };
+    // Hog (src 0, gid 9): two fill the flow cap, two more park in the
+    // arrival queue. Drain the fabric first so the hog's surplus is
+    // already parked at the queue head when the victim's traffic
+    // lands behind it — victim and hog use different channels, so
+    // without the intervening run their arrivals would interleave and
+    // the victim would never actually queue behind the blocked head.
+    for (Word t = 0; t < 4; ++t)
+        send(0, 9, 100 + t);
+    eq.run();
+    EXPECT_EQ(sink.b.flowCount(0, 9), 2u);
+    // Victim (src 2, gid 4) behind the hog's parked packets.
+    send(2, 4, 500);
+    send(2, 4, 501);
+    eq.run();
+
+    // The victim's packets made it into the NI pool, in order, while
+    // the hog's third and fourth wait their turn in the network.
+    EXPECT_EQ(sink.b.flowCount(2, 4), 2u);
+    EXPECT_EQ(sink.b.flowCount(0, 9), 2u);
+    const net::Packet *v = sink.b.userHead(4, false);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->payload[0], 500u);
+    EXPECT_GE(net.stats.headOfLineBypasses.value(), 2.0);
+
+    // Extracting a hog message frees its flow; the re-poke must then
+    // deliver the parked hog packet (per-stream FIFO intact).
+    sink.b.extractAt(sink.b.userHead(9, false));
+    net.onSinkSpaceFreed(1);
+    eq.run();
+    EXPECT_EQ(sink.b.flowCount(0, 9), 2u);
+    const net::Packet *h = sink.b.userHead(9, false);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->payload[0], 101u); // oldest remaining hog message
+}
+
 TEST(DamqTest, LiveDescriptorReservesOneSlot)
 {
     // Input and output queues share the pool: a live output

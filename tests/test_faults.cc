@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "apps/common.hh"
+#include "core/arch.hh"
 #include "glaze/machine.hh"
 #include "harness/experiment.hh"
 #include "sim/fault.hh"
@@ -119,6 +121,100 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("jitter", "inqfull", "outqfull", "framedeny",
                       "divert", "timeout", "pagefault", "mixed"),
     [](const auto &info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Atomicity-timeout revocation vs squatters (glaze/kernel.cc)
+// ---------------------------------------------------------------------
+
+/**
+ * A tenant that arms the user-settable timer-force UAC bit and never
+ * opens (or closes) an atomic section, while doing real barrier
+ * traffic. The atomicity timer then expires repeatedly with
+ * interrupt-disable clear; each expiry must revoke into plain
+ * buffered mode, not raise the atomicity gate — there is no atomic
+ * section, so no endAtomic trap will ever come to clear it. Pre-fix,
+ * onAtomicityTimeout committed from_atomic unconditionally and the
+ * first expiry wedged the process's drain forever.
+ */
+glaze::AppBody
+makeTimerForceSquatter(unsigned nnodes, unsigned barriers)
+{
+    return [=](glaze::Process &p) -> exec::CoTask<void> {
+        auto &e = apps::env(p, nnodes);
+        p.port().ni().beginAtom(core::kUacTimerForce);
+        for (unsigned i = 0; i < barriers; ++i) {
+            co_await p.compute(400);
+            co_await e.barrier.wait();
+        }
+    };
+}
+
+/**
+ * A tenant that re-arms physical atomicity back to back, holding each
+ * section past the timeout preset so revocation keeps firing, with a
+ * timeout storm layered on top to land stale interrupts in the
+ * modeTransition window.
+ */
+glaze::AppBody
+makeAtomicSquatter(unsigned nnodes, unsigned barriers)
+{
+    return [=](glaze::Process &p) -> exec::CoTask<void> {
+        auto &e = apps::env(p, nnodes);
+        for (unsigned i = 0; i < barriers; ++i) {
+            co_await p.port().beginAtomic();
+            co_await p.compute(3000); // > the timeout preset below
+            co_await p.port().endAtomic();
+            co_await e.barrier.wait();
+        }
+    };
+}
+
+TEST(AtomicityTest, TimerForceSquatterCannotWedgeTheDrain)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    // Every dispose restarts the timer with a fresh preset, so the
+    // preset must be shorter than the squatter's compute leg for the
+    // forced timer to actually expire between barrier rounds.
+    cfg.ni.atomicityTimeout = 250;
+    const RunStats r = harness::runJob(
+        cfg,
+        [](unsigned n, std::uint64_t) {
+            return makeTimerForceSquatter(n, 80);
+        },
+        /*with_null=*/false, /*gang=*/false, {},
+        /*max_cycles=*/200000000ull);
+    ASSERT_TRUE(r.completed)
+        << "timer-force squatter wedged its own drain";
+    EXPECT_EQ(r.violations, 0.0);
+    // The squat must actually fire the timer (else the test is inert).
+    EXPECT_GT(r.atomicityTimeouts, 0.0);
+}
+
+TEST(AtomicityTest, TimeoutStormAgainstAtomicitySquatter)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    cfg.ni.atomicityTimeout = 1000;
+    cfg.fault.enabled = true;
+    cfg.fault.atomTimeoutProb = 0.5;
+    cfg.fault.divertStormProb = 0.3;
+    const auto factory = [](unsigned n, std::uint64_t) {
+        return makeAtomicSquatter(n, 60);
+    };
+    const RunStats r = harness::runJob(cfg, factory,
+                                       /*with_null=*/true,
+                                       /*gang=*/true, {},
+                                       /*max_cycles=*/400000000ull);
+    ASSERT_TRUE(r.completed) << "squatter + storm wedged the machine";
+    EXPECT_EQ(r.violations, 0.0);
+    EXPECT_GT(r.atomicityTimeouts, 0.0);
+    const RunStats replay = harness::runJob(cfg, factory, true, true,
+                                            {}, 400000000ull);
+    EXPECT_TRUE(r == replay);
+}
 
 TEST(FaultTest, DisabledByDefaultInjectsNothing)
 {

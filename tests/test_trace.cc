@@ -531,6 +531,92 @@ TEST_F(TraceTest, DivertCountsSumToBufferInserts)
               s.byType[static_cast<unsigned>(Type::BufExtract)]);
 }
 
+/**
+ * Adversary-trace golden: two tenants that only ever run buffered
+ * (machine-wide divert, gang-scheduled so GID-mismatch diverts mix
+ * in) must come out of `tracetool summarize` with their extraction
+ * counts attributed to the right GID and none dropped — the per-GID
+ * rows cover exactly the BufExtract population, per tenant, with a
+ * latency sample for every extraction. The summary must also survive
+ * the binary round trip byte-for-byte, so the tracetool sees what the
+ * in-memory recorder saw.
+ */
+TEST_F(TraceTest, AdversaryTraceKeepsBufferedOnlyGidsDistinct)
+{
+    MachineConfig cfg;
+    cfg.nodes = 4;
+    cfg.seed = 11;
+    cfg.alwaysBuffered = true; // every tenant is buffered-only
+    cfg.trace.enabled = true;
+    Machine m(cfg);
+    RxState stA, stB;
+    constexpr int kA = 13, kB = 7; // unequal, so swaps are visible
+    // Senders idle for two gang rotations first, so every receiver
+    // has been scheduled once and registered its handler before the
+    // first buffered message can drain at handler priority.
+    auto slowSend = [](Process &p, NodeId dst, int count,
+                       Cycle gap) -> CoTask<void> {
+        co_await p.compute(40000);
+        co_await sendMain(p, dst, count, gap);
+    };
+    Job *a = m.addJob("tenantA", [&stA, slowSend](Process &p) {
+        return p.node() == 0
+                   ? slowSend(p, 1, kA, 120)
+                   : recvMain(p, &stA, p.node() == 1 ? kA : 0);
+    });
+    Job *b = m.addJob("tenantB", [&stB, slowSend](Process &p) {
+        return p.node() == 2
+                   ? slowSend(p, 3, kB, 180)
+                   : recvMain(p, &stB, p.node() == 3 ? kB : 0);
+    });
+    GangConfig g;
+    g.quantum = 15000;
+    g.skew = 0.3;
+    m.startGang(g);
+    try {
+        ASSERT_TRUE(m.runUntilDone(a));
+        ASSERT_TRUE(m.runUntilDone(b));
+    } catch (const SimError &e) {
+        FAIL() << e.message;
+    }
+
+    const Summary s = summarizeMachine(m);
+    EXPECT_EQ(s.byType[static_cast<unsigned>(Type::DirectExtract)], 0u);
+    EXPECT_EQ(s.byType[static_cast<unsigned>(Type::BufExtract)],
+              static_cast<std::uint64_t>(kA + kB));
+    ASSERT_EQ(s.byGid.size(), 2u); // sorted by gid
+    const Summary::GidStats &ga = s.byGid[0];
+    const Summary::GidStats &gb = s.byGid[1];
+    EXPECT_EQ(ga.gid, a->gid());
+    EXPECT_EQ(gb.gid, b->gid());
+    EXPECT_EQ(ga.fast, 0u);
+    EXPECT_EQ(gb.fast, 0u);
+    EXPECT_EQ(ga.buffered, static_cast<std::uint64_t>(kA));
+    EXPECT_EQ(gb.buffered, static_cast<std::uint64_t>(kB));
+    // Every extraction paired with its inject: no latency dropped.
+    EXPECT_EQ(ga.latency.count, static_cast<std::uint64_t>(kA));
+    EXPECT_EQ(gb.latency.count, static_cast<std::uint64_t>(kB));
+    EXPECT_DOUBLE_EQ(ga.bufferedPct(), 100.0);
+    EXPECT_DOUBLE_EQ(gb.bufferedPct(), 100.0);
+
+    // Golden: the tracetool's view (binary file round trip) renders
+    // the identical summary, per-GID rows included.
+    const std::string path =
+        testing::TempDir() + "fugu_adversary.trace";
+    std::string err;
+    ASSERT_TRUE(writeTraceFiles(path, m.tracer()->buffer(), &err))
+        << err;
+    std::vector<TraceEvent> back;
+    ASSERT_TRUE(readBinaryFile(path, back, &err)) << err;
+    std::ostringstream live, disk;
+    printSummary(live, s);
+    printSummary(disk, summarize(back));
+    EXPECT_EQ(live.str(), disk.str());
+    EXPECT_NE(live.str().find("% buffered)"), std::string::npos);
+    std::remove(path.c_str());
+    std::remove((path + ".json").c_str());
+}
+
 TEST(ExtractAuxTest, PackRoundTripsAndSaturates)
 {
     const std::uint32_t aux = packExtractAux(Gid{7}, Cycle{123456});
